@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the linear-algebra kernels behind query
+//! preparation: eigendecomposition, Cholesky, and the Mahalanobis form.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gprq_linalg::{Matrix, Vector};
+
+fn sigma2() -> Matrix<2> {
+    let s3 = 3.0f64.sqrt();
+    Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(10.0)
+}
+
+fn sigma9() -> Matrix<9> {
+    // A well-conditioned anisotropic 9-D covariance.
+    let mut m = Matrix::<9>::identity();
+    for i in 0..9 {
+        m[(i, i)] = 0.5 + i as f64 * 0.35;
+        for j in (i + 1)..9 {
+            let c = 0.05 / (1.0 + (i as f64 - j as f64).abs());
+            m[(i, j)] = c;
+            m[(j, i)] = c;
+        }
+    }
+    m
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let m2 = sigma2();
+    let m9 = sigma9();
+    c.bench_function("eigen/jacobi_2d", |b| {
+        b.iter(|| black_box(m2).symmetric_eigen().unwrap())
+    });
+    c.bench_function("eigen/jacobi_9d", |b| {
+        b.iter(|| black_box(m9).symmetric_eigen().unwrap())
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let m2 = sigma2();
+    let m9 = sigma9();
+    c.bench_function("cholesky/factor_2d", |b| {
+        b.iter(|| black_box(m2).cholesky().unwrap())
+    });
+    c.bench_function("cholesky/factor_9d", |b| {
+        b.iter(|| black_box(m9).cholesky().unwrap())
+    });
+    let ch9 = m9.cholesky().unwrap();
+    let v9 = Vector::<9>::from_fn(|i| i as f64 * 0.3 - 1.0);
+    c.bench_function("cholesky/mahalanobis_9d", |b| {
+        b.iter(|| ch9.mahalanobis_squared(black_box(&v9)))
+    });
+}
+
+fn bench_quadratic_form(c: &mut Criterion) {
+    let inv = sigma2().cholesky().unwrap().inverse();
+    let v = Vector::from([3.0, -2.0]);
+    c.bench_function("matrix/quadratic_form_2d", |b| {
+        b.iter(|| inv.quadratic_form(black_box(&v)))
+    });
+}
+
+criterion_group!(benches, bench_eigen, bench_cholesky, bench_quadratic_form);
+criterion_main!(benches);

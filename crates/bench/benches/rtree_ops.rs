@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the R*-tree substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gprq_linalg::Vector;
+use gprq_rtree::{RStarParams, RTree, Rect};
+use gprq_workloads::road_network_2d;
+
+fn dataset(n: usize) -> Vec<(Vector<2>, u32)> {
+    road_network_2d(n, 7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u32))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_747] {
+        let data = dataset(n);
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &data, |b, d| {
+            b.iter(|| RTree::bulk_load(d.clone(), RStarParams::paper_default(2)))
+        });
+    }
+    let data = dataset(10_000);
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = RTree::with_params(RStarParams::paper_default(2));
+            for (p, id) in &data {
+                t.insert(*p, *id);
+            }
+            t
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tree = RTree::bulk_load(dataset(50_747), RStarParams::paper_default(2));
+    let center = Vector::from([500.0, 500.0]);
+    let rect = Rect::centered(&center, &Vector::from([48.4, 40.3])); // the γ=10 search box
+    c.bench_function("rtree/range_query_gamma10_box", |b| {
+        b.iter(|| tree.query_rect(black_box(&rect)))
+    });
+    c.bench_function("rtree/ball_query_r50", |b| {
+        b.iter(|| tree.query_ball(black_box(&center), 50.0))
+    });
+    c.bench_function("rtree/knn_20", |b| {
+        b.iter(|| tree.nearest_neighbors(black_box(&center), 20))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

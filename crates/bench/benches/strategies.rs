@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the filter predicates and full strategy
+//! executions (with a cheap evaluator, to expose Phase 1+2 costs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gprq_bench::road_tree;
+use gprq_core::{
+    BfBounds, FringeMode, MonteCarloEvaluator, OrFilter, PrqExecutor, PrqQuery, RrFilter,
+    StrategySet, ThetaRegion,
+};
+use gprq_linalg::Vector;
+use gprq_workloads::eq34_covariance;
+
+fn query() -> PrqQuery<2> {
+    PrqQuery::new(
+        Vector::from([500.0, 500.0]),
+        eq34_covariance(10.0),
+        25.0,
+        0.01,
+    )
+    .unwrap()
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let q = query();
+    c.bench_function("prepare/theta_region", |b| {
+        b.iter(|| ThetaRegion::for_query(black_box(&q)).unwrap())
+    });
+    c.bench_function("prepare/bf_bounds_exact", |b| {
+        b.iter(|| BfBounds::exact(black_box(&q)))
+    });
+}
+
+fn bench_filter_predicates(c: &mut Criterion) {
+    let q = query();
+    let region = ThetaRegion::for_query(&q).unwrap();
+    let rr = RrFilter::new(&q, region.clone(), FringeMode::PaperFaithful);
+    let or = OrFilter::new(&q, &region);
+    let bf = BfBounds::exact(&q);
+    let probe = Vector::from([530.0, 520.0]);
+    c.bench_function("filter/rr_fringe", |b| {
+        b.iter(|| rr.passes(black_box(&probe)))
+    });
+    c.bench_function("filter/or_oblique", |b| {
+        b.iter(|| or.passes(black_box(&probe)))
+    });
+    c.bench_function("filter/bf_classify", |b| {
+        b.iter(|| bf.classify(black_box(&probe)))
+    });
+}
+
+fn bench_full_queries(c: &mut Criterion) {
+    let tree = road_tree(50_747, 7);
+    let q = query();
+    let mut group = c.benchmark_group("execute/paper_query_1k_samples");
+    group.sample_size(10);
+    for (name, set) in StrategySet::PAPER_COMBINATIONS {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eval = MonteCarloEvaluator::new(1_000, 3);
+                PrqExecutor::new(set)
+                    .execute(&tree, black_box(&q), &mut eval)
+                    .unwrap()
+                    .stats
+                    .integrations
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_preparation,
+    bench_filter_predicates,
+    bench_full_queries
+);
+criterion_main!(benches);

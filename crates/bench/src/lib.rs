@@ -1,0 +1,158 @@
+//! # gprq-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§V–§VI), plus ablations. See `DESIGN.md` §5 for the
+//! experiment index and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results.
+//!
+//! Every binary accepts `--n`, `--trials`, `--samples`, `--seed`
+//! overrides so a laptop run can trade fidelity for time; defaults are
+//! chosen to finish in minutes while preserving the papers' comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gprq_linalg::Vector;
+use gprq_rtree::{RStarParams, RTree};
+use gprq_workloads as workloads;
+
+/// Simple `--key value` argument parser for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                let value = raw.get(i + 1).cloned().unwrap_or_default();
+                pairs.push((key.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Gets a typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `true` if the flag was given (with any or no value).
+    pub fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self::parse()
+    }
+}
+
+/// Builds the road-network tree (the paper's 2-D dataset) with payload =
+/// point index.
+pub fn road_tree(n: usize, seed: u64) -> RTree<2, u32> {
+    let pts = workloads::road_network_2d(n, seed);
+    RTree::bulk_load(
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u32))
+            .collect(),
+        RStarParams::paper_default(2),
+    )
+}
+
+/// Builds the Corel-like tree (the paper's 9-D dataset).
+pub fn corel_tree(n: usize, seed: u64) -> (RTree<9, u32>, Vec<Vector<9>>) {
+    let pts = workloads::corel_like_9d(n, seed);
+    let tree = RTree::bulk_load(
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect(),
+        RStarParams::paper_default(9),
+    );
+    (tree, pts)
+}
+
+/// Renders one row of a fixed-width table.
+pub fn row(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:>10} |");
+    for c in cells {
+        s.push_str(&format!(" {c:>9} |"));
+    }
+    s
+}
+
+/// Renders a table header with the paper's six strategy columns (plus
+/// optional extra columns).
+pub fn strategy_header(extra: &[&str]) -> String {
+    let mut cells: Vec<String> = gprq_core::StrategySet::PAPER_COMBINATIONS
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    cells.extend(extra.iter().map(|s| s.to_string()));
+    let mut out = row("", &cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_defaults() {
+        let args = Args { pairs: vec![] };
+        assert_eq!(args.get("n", 42usize), 42);
+        assert!(!args.flag("full"));
+    }
+
+    #[test]
+    fn args_typed_lookup() {
+        let args = Args {
+            pairs: vec![
+                ("n".into(), "100".into()),
+                ("gamma".into(), "2.5".into()),
+                ("full".into(), String::new()),
+            ],
+        };
+        assert_eq!(args.get("n", 0usize), 100);
+        assert_eq!(args.get("gamma", 0.0f64), 2.5);
+        assert!(args.flag("full"));
+        // Unparseable falls back to default.
+        assert_eq!(args.get("full", 7usize), 7);
+    }
+
+    #[test]
+    fn trees_build() {
+        let t = road_tree(500, 1);
+        assert_eq!(t.len(), 500);
+        let (t9, pts) = corel_tree(300, 1);
+        assert_eq!(t9.len(), 300);
+        assert_eq!(pts.len(), 300);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let h = strategy_header(&["ANS"]);
+        assert!(h.contains("RR+BF"));
+        assert!(h.contains("ANS"));
+        let r = row("γ=10", &["1".into(), "2".into()]);
+        assert!(r.contains("γ=10"));
+    }
+}

@@ -1,0 +1,521 @@
+//! The three-phase query executor (paper §III-B, Algorithms 1 & 2).
+//!
+//! 1. **Index-based search** — an R\*-tree rectangle query over the
+//!    Phase-1 region (RR's Minkowski box, or BF's `α∥` box when RR is not
+//!    in the strategy set);
+//! 2. **Filtering** — the RR fringe test, the OR oblique-box test, and
+//!    the BF distance classification (reject beyond `α∥`, *accept without
+//!    integration* within `α⊥`), in that order (cheapest first);
+//! 3. **Probability computation** — numerical integration for the
+//!    survivors, keeping those with probability `≥ θ`.
+//!
+//! [`QueryStats`] records everything the paper's tables report: per-phase
+//! wall-clock times, candidate counts, and the number of numerical
+//! integrations (the dominant cost, "at least 97% of the total processing
+//! time", §V-B).
+
+use crate::error::PrqError;
+use crate::evaluator::ProbabilityEvaluator;
+use crate::query::PrqQuery;
+use crate::strategy::bf::{BfBounds, BfClass};
+use crate::strategy::or::OrFilter;
+use crate::strategy::rr::{FringeMode, RrFilter};
+use crate::strategy::StrategySet;
+use crate::theta_region::ThetaRegion;
+use crate::ucatalog::{BfCatalog, RrCatalog};
+use gprq_linalg::Vector;
+use gprq_rtree::{RTree, SearchStats};
+use std::time::{Duration, Instant};
+
+/// Statistics for one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryStats {
+    /// Candidates returned by the Phase-1 index search.
+    pub phase1_candidates: usize,
+    /// R-tree nodes visited in Phase 1.
+    pub node_accesses: usize,
+    /// Candidates pruned by the RR fringe filter.
+    pub pruned_by_fringe: usize,
+    /// Candidates pruned by the OR oblique-box filter.
+    pub pruned_by_or: usize,
+    /// Candidates pruned by the BF reject radius `α∥`.
+    pub pruned_by_bf: usize,
+    /// Candidates accepted by the BF accept radius `α⊥` **without**
+    /// numerical integration.
+    pub accepted_without_integration: usize,
+    /// Numerical integrations performed (the paper's "number of
+    /// candidates", Tables II–III).
+    pub integrations: usize,
+    /// Final answer-set size (the ANS column).
+    pub answers: usize,
+    /// Phase-1 wall-clock time.
+    pub phase1_time: Duration,
+    /// Phase-2 wall-clock time.
+    pub phase2_time: Duration,
+    /// Phase-3 wall-clock time.
+    pub phase3_time: Duration,
+}
+
+impl QueryStats {
+    /// Total wall-clock time across the three phases.
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time + self.phase3_time
+    }
+}
+
+/// Result of a query: answer records (borrowed from the tree) plus stats.
+#[derive(Debug)]
+pub struct PrqOutcome<'t, const D: usize, T> {
+    /// Objects satisfying `Pr(‖x − o‖ ≤ δ) ≥ θ`.
+    pub answers: Vec<(&'t Vector<D>, &'t T)>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Configured query executor.
+///
+/// ```
+/// use gprq_core::{PrqExecutor, PrqQuery, StrategySet, MonteCarloEvaluator};
+/// use gprq_linalg::{Matrix, Vector};
+/// use gprq_rtree::{RTree, RStarParams};
+///
+/// let points: Vec<(Vector<2>, u32)> = (0..500)
+///     .map(|i| (Vector::from([(i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0]), i))
+///     .collect();
+/// let tree = RTree::bulk_load(points, RStarParams::paper_default(2));
+/// let query = PrqQuery::new(
+///     Vector::from([50.0, 50.0]),
+///     Matrix::identity().scale(20.0),
+///     10.0,
+///     0.05,
+/// ).unwrap();
+/// let executor = PrqExecutor::new(StrategySet::ALL);
+/// let mut eval = MonteCarloEvaluator::new(20_000, 42);
+/// let outcome = executor.execute(&tree, &query, &mut eval).unwrap();
+/// assert!(outcome.stats.integrations <= outcome.stats.phase1_candidates);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PrqExecutor<'c> {
+    strategies: StrategySet,
+    fringe_mode: FringeMode,
+    rr_catalog: Option<&'c RrCatalog>,
+    bf_catalog: Option<&'c BfCatalog>,
+}
+
+impl<'c> PrqExecutor<'c> {
+    /// An executor computing all radii exactly (as the paper's own
+    /// experiments do, §V-A).
+    pub fn new(strategies: StrategySet) -> Self {
+        PrqExecutor {
+            strategies,
+            fringe_mode: FringeMode::PaperFaithful,
+            rr_catalog: None,
+            bf_catalog: None,
+        }
+    }
+
+    /// Overrides the fringe-filter mode (see [`FringeMode`]).
+    pub fn with_fringe_mode(mut self, mode: FringeMode) -> Self {
+        self.fringe_mode = mode;
+        self
+    }
+
+    /// Uses a U-catalog for the θ-region radius (paper Algorithm 1,
+    /// line 4) instead of the exact chi quantile; falls back to exact
+    /// when the catalog has no safe entry.
+    pub fn with_rr_catalog(mut self, catalog: &'c RrCatalog) -> Self {
+        self.rr_catalog = Some(catalog);
+        self
+    }
+
+    /// Uses a U-catalog for the BF radii (paper Eqs. 32–33).
+    pub fn with_bf_catalog(mut self, catalog: &'c BfCatalog) -> Self {
+        self.bf_catalog = Some(catalog);
+        self
+    }
+
+    /// The configured strategy set.
+    pub fn strategies(&self) -> StrategySet {
+        self.strategies
+    }
+
+    /// Executes the query against an R\*-tree of exact target objects.
+    ///
+    /// # Errors
+    ///
+    /// * [`PrqError::NoPrimaryStrategy`] for an OR-only strategy set,
+    /// * [`PrqError::ThetaRegionUndefined`] if RR or OR is enabled with
+    ///   `θ ≥ 1/2` (BF-only sets still work there).
+    pub fn execute<'t, const D: usize, T, E>(
+        &self,
+        tree: &'t RTree<D, T>,
+        query: &PrqQuery<D>,
+        evaluator: &mut E,
+    ) -> Result<PrqOutcome<'t, D, T>, PrqError>
+    where
+        E: ProbabilityEvaluator<D>,
+    {
+        self.strategies.validate()?;
+        let mut stats = QueryStats::default();
+
+        // --- Preparation: build the enabled filters. -------------------
+        let needs_region = self.strategies.rr || self.strategies.or;
+        let region: Option<ThetaRegion<D>> = if needs_region {
+            let r_theta = match self.rr_catalog {
+                Some(cat) => {
+                    debug_assert_eq!(cat.dim(), D);
+                    match cat.lookup(query.theta()) {
+                        Some(r) => r,
+                        None => crate::theta_region::r_theta_exact::<D>(query.theta())?,
+                    }
+                }
+                None => crate::theta_region::r_theta_exact::<D>(query.theta())?,
+            };
+            Some(ThetaRegion::with_r_theta(query, r_theta)?)
+        } else {
+            None
+        };
+        let rr_filter: Option<RrFilter<D>> = if self.strategies.rr {
+            Some(RrFilter::new(
+                query,
+                region.clone().expect("region built when rr is set"),
+                self.fringe_mode,
+            ))
+        } else {
+            None
+        };
+        let or_filter: Option<OrFilter<D>> = if self.strategies.or {
+            Some(OrFilter::new(
+                query,
+                region.as_ref().expect("region built when or is set"),
+            ))
+        } else {
+            None
+        };
+        let bf_bounds: Option<BfBounds<D>> = if self.strategies.bf {
+            Some(match self.bf_catalog {
+                Some(cat) => BfBounds::from_catalog(query, cat),
+                None => BfBounds::exact(query),
+            })
+        } else {
+            None
+        };
+
+        // --- Phase 1: index-based search. ------------------------------
+        let t0 = Instant::now();
+        let search_rect = if let Some(rr) = &rr_filter {
+            Some(rr.search_rect())
+        } else {
+            // BF is the primary (Algorithm 2, line 6). A `None` here is
+            // the provably-empty case.
+            bf_bounds.as_ref().expect("validated").search_rect()
+        };
+        let mut candidates: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
+        if let Some(rect) = search_rect {
+            let mut search_stats = SearchStats::default();
+            candidates = tree.query_rect_with_stats(&rect, &mut search_stats);
+            stats.node_accesses = search_stats.nodes_visited;
+        }
+        stats.phase1_candidates = candidates.len();
+        stats.phase1_time = t0.elapsed();
+
+        // --- Phase 2: filtering. ---------------------------------------
+        let t1 = Instant::now();
+        let mut answers: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
+        let mut to_integrate: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
+        'candidates: for (point, data) in candidates {
+            if let Some(rr) = &rr_filter {
+                if !rr.passes(point) {
+                    stats.pruned_by_fringe += 1;
+                    continue 'candidates;
+                }
+            }
+            if let Some(or) = &or_filter {
+                if !or.passes(point) {
+                    stats.pruned_by_or += 1;
+                    continue 'candidates;
+                }
+            }
+            if let Some(bf) = &bf_bounds {
+                match bf.classify(point) {
+                    BfClass::Reject => {
+                        stats.pruned_by_bf += 1;
+                        continue 'candidates;
+                    }
+                    BfClass::Accept => {
+                        stats.accepted_without_integration += 1;
+                        answers.push((point, data));
+                        continue 'candidates;
+                    }
+                    BfClass::NeedsIntegration => {}
+                }
+            }
+            to_integrate.push((point, data));
+        }
+        stats.phase2_time = t1.elapsed();
+
+        // --- Phase 3: probability computation. -------------------------
+        let t2 = Instant::now();
+        evaluator.begin_query(query.gaussian());
+        for (point, data) in to_integrate {
+            stats.integrations += 1;
+            let p = evaluator.probability(query.gaussian(), point, query.delta());
+            if p >= query.theta() {
+                answers.push((point, data));
+            }
+        }
+        stats.phase3_time = t2.elapsed();
+        stats.answers = answers.len();
+
+        Ok(PrqOutcome { answers, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::Quadrature2dEvaluator;
+    use gprq_linalg::Matrix;
+    use gprq_rtree::RStarParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_tree() -> RTree<2, usize> {
+        // A 60 × 60 grid over [0, 1000]².
+        let mut points = Vec::new();
+        for i in 0..60 {
+            for j in 0..60 {
+                points.push((
+                    Vector::from([i as f64 * 1000.0 / 59.0, j as f64 * 1000.0 / 59.0]),
+                    i * 60 + j,
+                ));
+            }
+        }
+        RTree::bulk_load(points, RStarParams::paper_default(2))
+    }
+
+    fn random_tree(n: usize, seed: u64) -> RTree<2, usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|i| {
+                (
+                    Vector::from([rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0]),
+                    i,
+                )
+            })
+            .collect();
+        RTree::bulk_load(points, RStarParams::paper_default(2))
+    }
+
+    fn paper_query(gamma: f64) -> PrqQuery<2> {
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma);
+        PrqQuery::new(Vector::from([500.0, 500.0]), sigma, 25.0, 0.01).unwrap()
+    }
+
+    fn answers_sorted(outcome: &PrqOutcome<'_, 2, usize>) -> Vec<usize> {
+        let mut ids: Vec<usize> = outcome.answers.iter().map(|(_, d)| **d).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn all_strategy_sets_agree() {
+        // With a deterministic evaluator, all six combinations must
+        // return the identical answer set — the *filter safety*
+        // invariant.
+        let tree = random_tree(4_000, 11);
+        let query = paper_query(10.0);
+        let mut reference: Option<Vec<usize>> = None;
+        for (name, set) in StrategySet::PAPER_COMBINATIONS {
+            let mut eval = Quadrature2dEvaluator::default();
+            let outcome = PrqExecutor::new(set)
+                .execute(&tree, &query, &mut eval)
+                .unwrap();
+            let ids = answers_sorted(&outcome);
+            match &reference {
+                None => reference = Some(ids),
+                Some(r) => assert_eq!(&ids, r, "strategy {name} disagrees"),
+            }
+        }
+        assert!(!reference.unwrap().is_empty(), "query should match objects");
+    }
+
+    #[test]
+    fn combinations_reduce_integrations() {
+        // Table II's qualitative claim: ALL ≤ every pairwise combo ≤ the
+        // better single strategy.
+        let tree = random_tree(6_000, 3);
+        let query = paper_query(10.0);
+        let run = |set: StrategySet| {
+            let mut eval = Quadrature2dEvaluator::default();
+            PrqExecutor::new(set)
+                .execute(&tree, &query, &mut eval)
+                .unwrap()
+                .stats
+        };
+        let rr = run(StrategySet::RR);
+        let bf = run(StrategySet::BF);
+        let rr_bf = run(StrategySet::RR_BF);
+        let rr_or = run(StrategySet::RR_OR);
+        let bf_or = run(StrategySet::BF_OR);
+        let all = run(StrategySet::ALL);
+        assert!(rr_bf.integrations <= rr.integrations.min(bf.integrations));
+        assert!(rr_or.integrations <= rr.integrations);
+        assert!(bf_or.integrations <= bf.integrations);
+        assert!(all.integrations <= rr_bf.integrations);
+        assert!(all.integrations <= rr_or.integrations);
+        assert!(all.integrations <= bf_or.integrations);
+        // Answers count is identical everywhere.
+        for s in [&rr, &bf, &rr_bf, &rr_or, &bf_or, &all] {
+            assert_eq!(s.answers, rr.answers);
+        }
+    }
+
+    #[test]
+    fn bf_accepts_without_integration() {
+        // Dense grid near the query center: some objects sit within α⊥.
+        let tree = grid_tree();
+        let query = paper_query(1.0);
+        let mut eval = Quadrature2dEvaluator::default();
+        let outcome = PrqExecutor::new(StrategySet::BF)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        assert!(
+            outcome.stats.accepted_without_integration > 0,
+            "expected sure-accepts inside α⊥: {:?}",
+            outcome.stats
+        );
+        // Sure-accepts + integrations cover all non-pruned candidates.
+        assert_eq!(
+            outcome.stats.phase1_candidates,
+            outcome.stats.pruned_by_bf
+                + outcome.stats.accepted_without_integration
+                + outcome.stats.integrations
+        );
+    }
+
+    #[test]
+    fn or_only_is_rejected() {
+        let tree = grid_tree();
+        let query = paper_query(10.0);
+        let mut eval = Quadrature2dEvaluator::default();
+        let set = StrategySet {
+            rr: false,
+            or: true,
+            bf: false,
+        };
+        assert!(matches!(
+            PrqExecutor::new(set).execute(&tree, &query, &mut eval),
+            Err(PrqError::NoPrimaryStrategy)
+        ));
+    }
+
+    #[test]
+    fn rr_with_large_theta_is_rejected_bf_still_works() {
+        let tree = grid_tree();
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]);
+        let query = PrqQuery::new(Vector::from([500.0, 500.0]), sigma, 50.0, 0.6).unwrap();
+        let mut eval = Quadrature2dEvaluator::default();
+        assert!(matches!(
+            PrqExecutor::new(StrategySet::RR).execute(&tree, &query, &mut eval),
+            Err(PrqError::ThetaRegionUndefined(_))
+        ));
+        let outcome = PrqExecutor::new(StrategySet::BF)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        // Objects very close to the center qualify with θ = 0.6 and
+        // δ = 50 for the small covariance.
+        assert!(outcome.stats.answers > 0);
+    }
+
+    #[test]
+    fn provably_empty_query_short_circuits() {
+        let tree = grid_tree();
+        // δ far too small for θ: BF proves emptiness with zero work.
+        let query = PrqQuery::new(
+            Vector::from([500.0, 500.0]),
+            Matrix::identity().scale(100.0),
+            0.5,
+            0.9,
+        )
+        .unwrap();
+        let mut eval = Quadrature2dEvaluator::default();
+        let outcome = PrqExecutor::new(StrategySet::BF)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        assert_eq!(outcome.stats.answers, 0);
+        assert_eq!(outcome.stats.phase1_candidates, 0);
+        assert_eq!(outcome.stats.integrations, 0);
+        assert_eq!(outcome.stats.node_accesses, 0);
+    }
+
+    #[test]
+    fn catalogs_preserve_answers() {
+        let tree = random_tree(3_000, 21);
+        let query = paper_query(10.0);
+        let mut eval = Quadrature2dEvaluator::default();
+        let exact = PrqExecutor::new(StrategySet::ALL)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        let rr_cat = RrCatalog::new(2);
+        let bf_cat = BfCatalog::new(2);
+        let approx = PrqExecutor::new(StrategySet::ALL)
+            .with_rr_catalog(&rr_cat)
+            .with_bf_catalog(&bf_cat)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        assert_eq!(answers_sorted(&exact), answers_sorted(&approx));
+        // Catalog radii are conservative → never fewer candidates.
+        assert!(
+            approx.stats.integrations + approx.stats.accepted_without_integration
+                >= exact.stats.integrations + exact.stats.accepted_without_integration
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let tree = random_tree(5_000, 8);
+        let query = paper_query(100.0);
+        let mut eval = Quadrature2dEvaluator::default();
+        let outcome = PrqExecutor::new(StrategySet::ALL)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        let s = outcome.stats;
+        assert_eq!(
+            s.phase1_candidates,
+            s.pruned_by_fringe
+                + s.pruned_by_or
+                + s.pruned_by_bf
+                + s.accepted_without_integration
+                + s.integrations
+        );
+        assert!(s.answers >= s.accepted_without_integration);
+        assert!(s.answers <= s.accepted_without_integration + s.integrations);
+        assert!(s.node_accesses > 0);
+        assert_eq!(s.answers, outcome.answers.len());
+        assert!(s.total_time() >= s.phase3_time);
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        // Ground truth: quadrature over every object in the database.
+        let tree = random_tree(1_500, 30);
+        let query = paper_query(10.0);
+        let mut oracle = Quadrature2dEvaluator::default();
+        let mut expect: Vec<usize> = tree
+            .iter()
+            .filter(|(p, _)| {
+                oracle.probability(query.gaussian(), p, query.delta()) >= query.theta()
+            })
+            .map(|(_, d)| *d)
+            .collect();
+        expect.sort_unstable();
+        let mut eval = Quadrature2dEvaluator::default();
+        let outcome = PrqExecutor::new(StrategySet::ALL)
+            .execute(&tree, &query, &mut eval)
+            .unwrap();
+        assert_eq!(answers_sorted(&outcome), expect);
+    }
+}

@@ -1,0 +1,207 @@
+//! Query explanation — an `EXPLAIN` for probabilistic range queries.
+//!
+//! Given a query and a strategy set, [`explain`] derives everything the
+//! executor *would* use — θ-region radius and box, oblique half-widths,
+//! BF radii, region volumes, and (given a density estimate) the expected
+//! number of Phase-3 integrations — without touching an index. Intended
+//! for interactive debugging, query planning, and the experiment
+//! harness's geometry printouts.
+
+use crate::cost::{expected_integrations, region_volumes, DensityEstimate, RegionVolumes};
+use crate::error::PrqError;
+use crate::query::PrqQuery;
+use crate::strategy::bf::{BfBounds, RejectBound};
+use crate::strategy::or::OrFilter;
+use crate::strategy::StrategySet;
+use crate::theta_region::ThetaRegion;
+use std::fmt;
+
+/// The derived execution plan of a query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Which strategies the plan composes.
+    pub strategies: StrategySet,
+    /// `r_θ` (normalized θ-region radius); `None` when RR/OR are absent.
+    pub r_theta: Option<f64>,
+    /// θ-region bounding-box half-widths per axis.
+    pub theta_box_half_widths: Option<Vec<f64>>,
+    /// Oblique-box half-widths in the eigenbasis (OR).
+    pub oblique_half_widths: Option<Vec<f64>>,
+    /// BF reject radius `α∥`; `None` when BF is absent, `Some(None)`
+    /// flattened to `RejectAll` via [`QueryPlan::provably_empty`].
+    pub alpha_reject: Option<f64>,
+    /// BF accept radius `α⊥` (absent in the no-hole regime).
+    pub alpha_accept: Option<f64>,
+    /// `true` when BF proves the whole answer set empty.
+    pub provably_empty: bool,
+    /// Integration-region volumes (RR / OR / BF / intersection).
+    pub volumes: RegionVolumes,
+    /// Expected Phase-3 integrations under the supplied density.
+    pub expected_integrations: f64,
+}
+
+/// Derives the execution plan for `query` under `strategies`, predicting
+/// cost against `density`.
+///
+/// # Errors
+///
+/// Propagates strategy-set validation and θ-region errors.
+pub fn explain<const D: usize>(
+    query: &PrqQuery<D>,
+    strategies: StrategySet,
+    density: &DensityEstimate,
+) -> Result<QueryPlan, PrqError> {
+    strategies.validate()?;
+    let volumes = region_volumes(query, 0x5EED)?;
+
+    let (r_theta, theta_box, oblique) = if strategies.rr || strategies.or {
+        let region = ThetaRegion::for_query(query)?;
+        let or = OrFilter::new(query, &region);
+        (
+            Some(region.r_theta()),
+            Some(region.box_half_widths().as_slice().to_vec()),
+            Some(or.half_widths().as_slice().to_vec()),
+        )
+    } else {
+        (None, None, None)
+    };
+
+    let (alpha_reject, alpha_accept, provably_empty) = if strategies.bf {
+        let bounds = BfBounds::exact(query);
+        match bounds.reject {
+            RejectBound::Radius(r) => (Some(r), bounds.accept, false),
+            RejectBound::RejectAll => (None, None, true),
+        }
+    } else {
+        (None, None, false)
+    };
+
+    let expected = if provably_empty {
+        0.0
+    } else {
+        expected_integrations(&volumes, density, strategies)
+    };
+
+    Ok(QueryPlan {
+        strategies,
+        r_theta,
+        theta_box_half_widths: theta_box,
+        oblique_half_widths: if strategies.or { oblique } else { None },
+        alpha_reject,
+        alpha_accept,
+        provably_empty,
+        volumes,
+        expected_integrations: expected,
+    })
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan: strategies = {}", self.strategies.name())?;
+        if self.provably_empty {
+            return writeln!(f, "  answer set is provably empty (BF reject-all)");
+        }
+        if let Some(r) = self.r_theta {
+            writeln!(f, "  θ-region radius r_θ = {r:.4}")?;
+        }
+        if let Some(w) = &self.theta_box_half_widths {
+            writeln!(f, "  θ-box half-widths  = {w:.2?}")?;
+        }
+        if let Some(w) = &self.oblique_half_widths {
+            writeln!(f, "  oblique half-widths = {w:.2?}")?;
+        }
+        if let Some(a) = self.alpha_reject {
+            match self.alpha_accept {
+                Some(b) => writeln!(f, "  BF radii: reject α∥ = {a:.2}, accept α⊥ = {b:.2}")?,
+                None => writeln!(f, "  BF radii: reject α∥ = {a:.2}, no accept hole")?,
+            }
+        }
+        writeln!(
+            f,
+            "  region volumes: RR {:.1}, OR {:.1}, BF {:.1}, ALL {:.1}",
+            self.volumes.rr, self.volumes.or, self.volumes.bf, self.volumes.all
+        )?;
+        writeln!(
+            f,
+            "  expected integrations ≈ {:.0}",
+            self.expected_integrations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprq_linalg::{Matrix, Vector};
+
+    fn query(gamma: f64, delta: f64, theta: f64) -> PrqQuery<2> {
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma);
+        PrqQuery::new(Vector::from([0.0, 0.0]), sigma, delta, theta).unwrap()
+    }
+
+    fn density() -> DensityEstimate {
+        DensityEstimate::uniform(50_747, 1_000_000.0)
+    }
+
+    #[test]
+    fn full_plan_has_all_components() {
+        let plan = explain(&query(10.0, 25.0, 0.01), StrategySet::ALL, &density()).unwrap();
+        assert!(plan.r_theta.is_some());
+        assert!(plan.theta_box_half_widths.is_some());
+        assert!(plan.oblique_half_widths.is_some());
+        assert!(plan.alpha_reject.is_some());
+        assert!(plan.alpha_accept.is_some());
+        assert!(!plan.provably_empty);
+        assert!(plan.expected_integrations > 0.0);
+        // Display renders every section.
+        let text = plan.to_string();
+        assert!(text.contains("r_θ"));
+        assert!(text.contains("BF radii"));
+        assert!(text.contains("expected integrations"));
+    }
+
+    #[test]
+    fn bf_only_plan_omits_regions() {
+        let plan = explain(&query(10.0, 25.0, 0.01), StrategySet::BF, &density()).unwrap();
+        assert!(plan.r_theta.is_none());
+        assert!(plan.theta_box_half_widths.is_none());
+        assert!(plan.oblique_half_widths.is_none());
+        assert!(plan.alpha_reject.is_some());
+    }
+
+    #[test]
+    fn provably_empty_plan() {
+        // δ far too small for θ = 0.49.
+        let plan = explain(&query(10.0, 0.5, 0.49), StrategySet::BF, &density()).unwrap();
+        assert!(plan.provably_empty);
+        assert_eq!(plan.expected_integrations, 0.0);
+        assert!(plan.to_string().contains("provably empty"));
+    }
+
+    #[test]
+    fn expected_integrations_ordering_matches_strategy_strength() {
+        let q = query(10.0, 25.0, 0.01);
+        let d = density();
+        let rr = explain(&q, StrategySet::RR, &d)
+            .unwrap()
+            .expected_integrations;
+        let all = explain(&q, StrategySet::ALL, &d)
+            .unwrap()
+            .expected_integrations;
+        assert!(
+            all < rr,
+            "ALL ({all}) should predict less work than RR ({rr})"
+        );
+    }
+
+    #[test]
+    fn invalid_strategy_set_rejected() {
+        let or_only = StrategySet {
+            rr: false,
+            or: true,
+            bf: false,
+        };
+        assert!(explain(&query(10.0, 25.0, 0.01), or_only, &density()).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Parallel Phase-3 integration.
+//!
+//! The per-candidate Monte-Carlo integrations are independent, so Phase 3
+//! — the ≥97 %-of-runtime phase — parallelizes embarrassingly. Each
+//! candidate gets a **deterministic per-object RNG stream** derived from
+//! the base seed and its index, so the result is bit-identical regardless
+//! of thread count (and identical to the sequential run).
+
+use crate::query::PrqQuery;
+use gprq_gaussian::integrate::importance_sampling_probability;
+use gprq_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for parallel qualification evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelIntegrator {
+    /// Monte-Carlo samples per object.
+    pub samples: usize,
+    /// Base RNG seed; object `i` uses a stream derived from it.
+    pub seed: u64,
+    /// Worker threads (`0` = number of available CPUs).
+    pub threads: usize,
+}
+
+impl ParallelIntegrator {
+    /// Creates an integrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn new(samples: usize, seed: u64, threads: usize) -> Self {
+        assert!(samples > 0);
+        ParallelIntegrator {
+            samples,
+            seed,
+            threads,
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Per-object seed: a splitmix-style mix of base seed and index so
+    /// adjacent objects get decorrelated streams.
+    fn object_seed(&self, index: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Computes the qualification probability of every candidate,
+    /// fanning the work across threads. `probabilities[i]` corresponds to
+    /// `candidates[i]`.
+    pub fn probabilities<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+    ) -> Vec<f64> {
+        let n = candidates.len();
+        let mut out = vec![0.0f64; n];
+        if n == 0 {
+            return out;
+        }
+        let workers = self.worker_count().min(n);
+        let chunk = n.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (w, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let start = w * chunk;
+                scope.spawn(move |_| {
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        let i = start + offset;
+                        let mut rng = StdRng::seed_from_u64(self.object_seed(i));
+                        *slot = importance_sampling_probability(
+                            query.gaussian(),
+                            &candidates[i],
+                            query.delta(),
+                            self.samples,
+                            &mut rng,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("integration worker panicked");
+        out
+    }
+
+    /// Convenience: returns which candidates qualify (`p ≥ θ`).
+    pub fn qualify<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+    ) -> Vec<bool> {
+        self.probabilities(query, candidates)
+            .into_iter()
+            .map(|p| p >= query.theta())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprq_linalg::Matrix;
+
+    fn query() -> PrqQuery<2> {
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(10.0);
+        PrqQuery::new(Vector::from([500.0, 500.0]), sigma, 25.0, 0.01).unwrap()
+    }
+
+    fn candidates(n: usize) -> Vec<Vector<2>> {
+        (0..n)
+            .map(|i| {
+                let angle = i as f64 * 0.37;
+                let radius = (i % 60) as f64;
+                Vector::from([500.0 + radius * angle.cos(), 500.0 + radius * angle.sin()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let q = query();
+        let cands = candidates(64);
+        let p1 = ParallelIntegrator::new(5_000, 7, 1).probabilities(&q, &cands);
+        let p4 = ParallelIntegrator::new(5_000, 7, 4).probabilities(&q, &cands);
+        let p7 = ParallelIntegrator::new(5_000, 7, 7).probabilities(&q, &cands);
+        assert_eq!(p1, p4);
+        assert_eq!(p1, p7);
+    }
+
+    #[test]
+    fn matches_quadrature_oracle() {
+        use crate::evaluator::{ProbabilityEvaluator, Quadrature2dEvaluator};
+        let q = query();
+        let cands = candidates(16);
+        let probs = ParallelIntegrator::new(100_000, 3, 0).probabilities(&q, &cands);
+        let mut oracle = Quadrature2dEvaluator::default();
+        for (c, p) in cands.iter().zip(&probs) {
+            let truth = oracle.probability(q.gaussian(), c, q.delta());
+            assert!((p - truth).abs() < 0.01, "{p} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn qualify_thresholds() {
+        let q = query();
+        let near = Vector::from([500.0, 500.0]);
+        let far = Vector::from([900.0, 900.0]);
+        let flags = ParallelIntegrator::new(10_000, 1, 2).qualify(&q, &[near, far]);
+        assert_eq!(flags, vec![true, false]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let q = query();
+        let probs = ParallelIntegrator::new(1_000, 1, 4).probabilities(&q, &[]);
+        assert!(probs.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_candidates() {
+        let q = query();
+        let cands = candidates(3);
+        let probs = ParallelIntegrator::new(1_000, 1, 16).probabilities(&q, &cands);
+        assert_eq!(probs.len(), 3);
+    }
+}

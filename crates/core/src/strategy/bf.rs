@@ -1,0 +1,378 @@
+//! Bounding-Function-Based strategy (paper §IV-C, Algorithm 2).
+//!
+//! The density `p_q` is sandwiched between two spherically symmetric
+//! functions built from the extreme eigenvalues of `Σ⁻¹` (Definition 6,
+//! Property 4):
+//!
+//! ```text
+//! p⊥(x) ≤ p_q(x) ≤ p∥(x),   p∥ from λ∥ = min λᵢ(Σ⁻¹),  p⊥ from λ⊥ = max.
+//! ```
+//!
+//! Integrating the bounds over the query ball yields two radii
+//! (Property 5, Fig. 11):
+//!
+//! * `α∥` — **reject** radius: an object farther than `α∥` from `q`
+//!   cannot reach probability `θ` even under the upper bound;
+//! * `α⊥` — **accept** radius: an object closer than `α⊥` reaches `θ`
+//!   even under the lower bound, so it joins the answer set *without
+//!   numerical integration*.
+//!
+//! Each radius reduces (Eqs. 28–31) to the off-center ball probability of
+//! the standard Gaussian, which `gprq_gaussian::noncentral` computes
+//! exactly; the table-based variant uses [`crate::ucatalog::BfCatalog`]
+//! with the conservative rules of Eqs. 32–33.
+//!
+//! In medium dimensions the accept radius often does not exist: when
+//! `(λ⊥)^{d/2}|Σ|^{1/2}·θ ≥ 1` (paper Eq. 37) the lower bound cannot
+//! reach `θ` anywhere — the "no internal hole" regime of Fig. 9 that the
+//! 9-D experiment (§VI-B) discusses. Symmetrically, when even a centered
+//! ball cannot reach `θ` under the *upper* bound, **no object can
+//! qualify** and the query answer is provably empty.
+
+use crate::query::PrqQuery;
+use crate::ucatalog::{BfCatalog, CatalogLookup};
+use gprq_gaussian::noncentral::inverse_center_distance;
+use gprq_linalg::Vector;
+use gprq_rtree::Rect;
+
+/// The BF reject bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejectBound {
+    /// Objects farther than this from `q` are pruned.
+    Radius(f64),
+    /// Even the upper bounding function cannot reach `θ` anywhere: the
+    /// query answer is empty, no search needed.
+    RejectAll,
+}
+
+/// The BF bounds for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfBounds<const D: usize> {
+    center: Vector<D>,
+    /// `α∥` (paper Eq. 28).
+    pub reject: RejectBound,
+    /// `α⊥` (paper Eq. 31); `None` in the no-hole regime of Eq. 37.
+    pub accept: Option<f64>,
+}
+
+impl<const D: usize> BfBounds<D> {
+    /// Computes the bounds exactly (the paper's own experiments do this:
+    /// §V-A "we computed accurate β∥ and β⊥ values for BF … instead of
+    /// approximate values").
+    pub fn exact(query: &PrqQuery<D>) -> Self {
+        let g = query.gaussian();
+        let d = D as f64;
+        let delta = query.delta();
+        let ln_theta = query.theta().ln();
+        let ln_det = g.log_det_covariance();
+
+        // Upper bound p∥ (λ∥ = min eigenvalue of Σ⁻¹): reject radius.
+        let lambda_par = g.lambda_parallel();
+        let rho_par = lambda_par.sqrt() * delta;
+        // (λ∥)^{d/2}|Σ|^{1/2}·θ in log space (Eq. 29) — always ≤ θ < 1.
+        let scaled_par = (0.5 * d * lambda_par.ln() + 0.5 * ln_det + ln_theta).exp();
+        let reject = match inverse_center_distance(D, rho_par, scaled_par.min(1.0 - 1e-15)) {
+            Some(beta) => RejectBound::Radius(beta / lambda_par.sqrt()),
+            None => RejectBound::RejectAll,
+        };
+
+        // Lower bound p⊥ (λ⊥ = max eigenvalue of Σ⁻¹): accept radius.
+        let lambda_perp = g.lambda_perp();
+        let rho_perp = lambda_perp.sqrt() * delta;
+        let ln_scaled_perp = 0.5 * d * lambda_perp.ln() + 0.5 * ln_det + ln_theta;
+        let accept = if ln_scaled_perp >= 0.0 {
+            // (λ⊥)^{d/2}|Σ|^{1/2}·θ ≥ 1: no hole (paper Eq. 37).
+            None
+        } else {
+            inverse_center_distance(D, rho_perp, ln_scaled_perp.exp())
+                .map(|beta| beta / lambda_perp.sqrt())
+        };
+
+        BfBounds {
+            center: *query.center(),
+            reject,
+            accept,
+        }
+    }
+
+    /// Computes the bounds through a [`BfCatalog`] with the paper's
+    /// conservative lookup rules (Eqs. 32–33), falling back to the exact
+    /// inverse when the query lands outside the tabulated grid.
+    pub fn from_catalog(query: &PrqQuery<D>, catalog: &BfCatalog) -> Self {
+        assert_eq!(
+            catalog.dim(),
+            D,
+            "catalog dimension {} does not match query dimension {D}",
+            catalog.dim()
+        );
+        let g = query.gaussian();
+        let d = D as f64;
+        let delta = query.delta();
+        let ln_theta = query.theta().ln();
+        let ln_det = g.log_det_covariance();
+
+        let lambda_par = g.lambda_parallel();
+        let rho_par = lambda_par.sqrt() * delta;
+        let scaled_par = (0.5 * d * lambda_par.ln() + 0.5 * ln_det + ln_theta).exp();
+        let reject = match catalog.lookup_reject(rho_par, scaled_par.min(1.0 - 1e-15)) {
+            CatalogLookup::Alpha(beta) => RejectBound::Radius(beta / lambda_par.sqrt()),
+            CatalogLookup::NoSolution => RejectBound::RejectAll,
+            // Exact fallback is computed only on a grid miss — the point
+            // of the catalog is to avoid the noncentral-χ² inversions.
+            CatalogLookup::OutOfGrid => {
+                match inverse_center_distance(D, rho_par, scaled_par.min(1.0 - 1e-15)) {
+                    Some(beta) => RejectBound::Radius(beta / lambda_par.sqrt()),
+                    None => RejectBound::RejectAll,
+                }
+            }
+        };
+
+        let lambda_perp = g.lambda_perp();
+        let rho_perp = lambda_perp.sqrt() * delta;
+        let ln_scaled_perp = 0.5 * d * lambda_perp.ln() + 0.5 * ln_det + ln_theta;
+        let accept = if ln_scaled_perp >= 0.0 {
+            None
+        } else {
+            match catalog.lookup_accept(rho_perp, ln_scaled_perp.exp()) {
+                CatalogLookup::Alpha(beta) => Some(beta / lambda_perp.sqrt()),
+                CatalogLookup::NoSolution => None,
+                CatalogLookup::OutOfGrid => {
+                    inverse_center_distance(D, rho_perp, ln_scaled_perp.exp())
+                        .map(|beta| beta / lambda_perp.sqrt())
+                }
+            }
+        };
+
+        BfBounds {
+            center: *query.center(),
+            reject,
+            accept,
+        }
+    }
+
+    /// The Phase-1 search rectangle of Algorithm 2 (line 6): the box
+    /// `[qᵢ − α∥, qᵢ + α∥]` per axis. `None` when the answer is provably
+    /// empty.
+    pub fn search_rect(&self) -> Option<Rect<D>> {
+        match self.reject {
+            RejectBound::Radius(alpha) => Some(Rect::centered(&self.center, &Vector::splat(alpha))),
+            RejectBound::RejectAll => None,
+        }
+    }
+
+    /// Phase-2 classification of a candidate by its distance to `q`.
+    pub fn classify(&self, p: &Vector<D>) -> BfClass {
+        let dist = p.distance(&self.center);
+        match self.reject {
+            RejectBound::RejectAll => BfClass::Reject,
+            RejectBound::Radius(alpha_par) => {
+                if dist > alpha_par {
+                    BfClass::Reject
+                } else if let Some(alpha_perp) = self.accept {
+                    if dist <= alpha_perp {
+                        BfClass::Accept
+                    } else {
+                        BfClass::NeedsIntegration
+                    }
+                } else {
+                    BfClass::NeedsIntegration
+                }
+            }
+        }
+    }
+}
+
+/// What BF decides about one candidate (paper Fig. 12: object `a` is
+/// accepted outright, `b`/`c` need integration, everything outside `α∥`
+/// is rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfClass {
+    /// Surely qualifies (within `α⊥`) — added to the answer set with no
+    /// integration.
+    Accept,
+    /// Surely does not qualify (beyond `α∥`).
+    Reject,
+    /// In the annulus: numerical integration required.
+    NeedsIntegration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucatalog::BfCatalog;
+    use gprq_gaussian::integrate::quadrature_probability_2d;
+    use gprq_linalg::Matrix;
+
+    fn paper_query(gamma: f64, delta: f64, theta: f64) -> PrqQuery<2> {
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma);
+        PrqQuery::new(Vector::from([500.0, 500.0]), sigma, delta, theta).unwrap()
+    }
+
+    #[test]
+    fn reject_radius_is_safe_and_tight() {
+        // Numerically verify Fig. 11's semantics against the 2-D
+        // quadrature oracle: just beyond α∥ the true probability is < θ;
+        // α∥ is tight for the *bounding function*, not the true density,
+        // so we only check safety plus rough scale.
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha) = b.reject else {
+            panic!("expected a radius")
+        };
+        assert!(alpha > q.delta(), "α∥ = {alpha} should exceed δ");
+        let g = q.gaussian();
+        for k in 0..8 {
+            let angle = k as f64 / 8.0 * std::f64::consts::TAU;
+            let p = *q.center() + Vector::from([angle.cos(), angle.sin()]) * (alpha * 1.001);
+            let prob = quadrature_probability_2d(g, &p, q.delta(), 48, 96);
+            assert!(prob < q.theta(), "beyond α∥ at {angle}: prob {prob}");
+        }
+    }
+
+    #[test]
+    fn accept_radius_is_safe() {
+        // Within α⊥ every object truly qualifies.
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let alpha = b.accept.expect("2-D paper setup has a hole");
+        assert!(alpha > 0.0);
+        let g = q.gaussian();
+        for k in 0..8 {
+            let angle = k as f64 / 8.0 * std::f64::consts::TAU;
+            let p = *q.center() + Vector::from([angle.cos(), angle.sin()]) * (alpha * 0.999);
+            let prob = quadrature_probability_2d(g, &p, q.delta(), 48, 96);
+            assert!(prob >= q.theta(), "inside α⊥ at {angle}: prob {prob} < θ");
+        }
+    }
+
+    #[test]
+    fn annulus_ordering() {
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha_par) = b.reject else {
+            panic!()
+        };
+        let alpha_perp = b.accept.unwrap();
+        assert!(
+            alpha_perp < alpha_par,
+            "accept radius {alpha_perp} must sit inside reject radius {alpha_par}"
+        );
+    }
+
+    #[test]
+    fn classification_matches_radii() {
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha_par) = b.reject else {
+            panic!()
+        };
+        let alpha_perp = b.accept.unwrap();
+        let dir = Vector::from([1.0, 0.0]);
+        assert_eq!(b.classify(q.center()), BfClass::Accept);
+        assert_eq!(
+            b.classify(&(*q.center() + dir * (alpha_perp * 0.9))),
+            BfClass::Accept
+        );
+        assert_eq!(
+            b.classify(&(*q.center() + dir * (0.5 * (alpha_perp + alpha_par)))),
+            BfClass::NeedsIntegration
+        );
+        assert_eq!(
+            b.classify(&(*q.center() + dir * (alpha_par * 1.01))),
+            BfClass::Reject
+        );
+    }
+
+    #[test]
+    fn spherical_covariance_needs_no_integration_annulus_shrinks() {
+        // Paper §VI-B: "if λ∥ = λ⊥ … BF is the best method since it can
+        // directly select answer objects and does not require numerical
+        // integration". With Σ = s²I the annulus [α⊥, α∥] collapses.
+        let q = PrqQuery::<2>::new(Vector::ZERO, Matrix::identity().scale(9.0), 5.0, 0.05).unwrap();
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha_par) = b.reject else {
+            panic!()
+        };
+        let alpha_perp = b.accept.unwrap();
+        assert!(
+            (alpha_par - alpha_perp).abs() < 1e-6,
+            "annulus width {} should collapse for isotropic Σ",
+            alpha_par - alpha_perp
+        );
+    }
+
+    #[test]
+    fn no_hole_in_narrow_high_dim() {
+        // A narrow 9-D Gaussian with a strict threshold: Eq. 37 regime.
+        let mut cov = Matrix::<9>::identity().scale(0.01);
+        cov[(0, 0)] = 25.0; // one long axis → λ⊥/λ∥ = 2500
+        let q = PrqQuery::<9>::new(Vector::ZERO, cov, 0.7, 0.4).unwrap();
+        let b = BfBounds::exact(&q);
+        assert_eq!(b.accept, None, "no internal hole expected");
+    }
+
+    #[test]
+    fn reject_all_when_theta_unreachable() {
+        // Tiny δ, huge θ: even at the center the ball cannot hold 90%.
+        let q = paper_query(10.0, 0.5, 0.9);
+        let b = BfBounds::exact(&q);
+        assert_eq!(b.reject, RejectBound::RejectAll);
+        assert!(b.search_rect().is_none());
+        assert_eq!(b.classify(q.center()), BfClass::Reject);
+    }
+
+    #[test]
+    fn search_rect_is_square_of_alpha() {
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha) = b.reject else {
+            panic!()
+        };
+        let rect = b.search_rect().unwrap();
+        assert!((rect.extent(0) - 2.0 * alpha).abs() < 1e-9);
+        assert!((rect.extent(1) - 2.0 * alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn catalog_bounds_are_conservative() {
+        let q = paper_query(10.0, 25.0, 0.01);
+        let exact = BfBounds::exact(&q);
+        let catalog = BfCatalog::new(2);
+        let approx = BfBounds::from_catalog(&q, &catalog);
+        match (exact.reject, approx.reject) {
+            (RejectBound::Radius(e), RejectBound::Radius(a)) => {
+                assert!(a >= e - 1e-9, "catalog reject {a} tighter than exact {e}");
+                assert!(a <= e * 1.6, "catalog reject {a} uselessly loose vs {e}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        if let (Some(e), Some(a)) = (exact.accept, approx.accept) {
+            assert!(a <= e + 1e-9, "catalog accept {a} looser than exact {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match query dimension")]
+    fn catalog_dimension_mismatch_panics() {
+        let q = paper_query(10.0, 25.0, 0.01);
+        let catalog = BfCatalog::new(3);
+        let _ = BfBounds::from_catalog(&q, &catalog);
+    }
+
+    #[test]
+    fn fig13_alpha_par_scale() {
+        // Fig. 13 draws the BF disc for γ = 10 with radius ≈ 46.9; our
+        // exact α∥ should land in that neighbourhood (the paper's value
+        // comes from its own MC-built catalog).
+        let q = paper_query(10.0, 25.0, 0.01);
+        let b = BfBounds::exact(&q);
+        let RejectBound::Radius(alpha) = b.reject else {
+            panic!()
+        };
+        assert!(
+            (40.0..55.0).contains(&alpha),
+            "α∥ = {alpha}, expected near Fig. 13's 46.9"
+        );
+    }
+}

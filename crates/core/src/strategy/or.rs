@@ -1,0 +1,203 @@
+//! Oblique-Region-Based strategy (paper §IV-B).
+//!
+//! The θ-region ellipsoid is tighter than its axis-aligned box; an
+//! *oblique* box aligned with the ellipsoid's own axes, expanded by `δ`,
+//! is correspondingly tighter than the RR search region (Fig. 5). Because
+//! an oblique box cannot be handed to the R-tree, the strategy is a pure
+//! Phase-2 filter: each candidate is rotated into the eigenbasis of `Σ⁻¹`
+//! (Property 3, `x = E·y`) where the box becomes axis-aligned with
+//! per-axis half-widths `r_θ/√λᵢ + δ` (Eq. 20, Fig. 7).
+
+use crate::query::PrqQuery;
+use crate::theta_region::ThetaRegion;
+use gprq_linalg::{Matrix, Vector};
+use gprq_rtree::Rect;
+
+/// The OR filter for one query.
+#[derive(Debug, Clone)]
+pub struct OrFilter<const D: usize> {
+    center: Vector<D>,
+    /// Eigenvector matrix `E` of `Σ` (shared with `Σ⁻¹`).
+    eigenvectors: Matrix<D>,
+    /// Per-axis half-widths in the eigenbasis: `r_θ·√λᵢ(Σ) + δ`
+    /// (equivalently `r_θ/√λᵢ(Σ⁻¹) + δ`, paper Eq. 20).
+    half_widths: Vector<D>,
+}
+
+impl<const D: usize> OrFilter<D> {
+    /// Builds the filter from a query and its θ-region.
+    pub fn new(query: &PrqQuery<D>, region: &ThetaRegion<D>) -> Self {
+        let g = query.gaussian();
+        let eig = g.eigen();
+        let r = region.r_theta();
+        let delta = query.delta();
+        OrFilter {
+            center: *g.mean(),
+            eigenvectors: eig.eigenvectors,
+            half_widths: Vector::from_fn(|i| r * eig.eigenvalues[i].sqrt() + delta),
+        }
+    }
+
+    /// Phase-2 predicate: `true` iff the candidate lies inside the
+    /// oblique box.
+    pub fn passes(&self, p: &Vector<D>) -> bool {
+        let diff = *p - self.center;
+        // y = Eᵗ·(p − q); test |yᵢ| ≤ half_widths[i] axis by axis with
+        // early exit (the common case is a reject on the first narrow
+        // axis).
+        for i in 0..D {
+            let mut y_i = 0.0;
+            for j in 0..D {
+                y_i += self.eigenvectors[(j, i)] * diff[j];
+            }
+            if y_i.abs() > self.half_widths[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Half-widths of the oblique box in the eigenbasis.
+    pub fn half_widths(&self) -> &Vector<D> {
+        &self.half_widths
+    }
+
+    /// The axis-aligned bounding box of the oblique box in the *original*
+    /// frame: `halfᵢ = Σⱼ |Eᵢⱼ|·wⱼ`.
+    ///
+    /// The paper notes this box "is generally large", which is why OR is
+    /// a filter rather than a Phase-1 region; exposed for the region-area
+    /// experiment (Figs. 13–16).
+    pub fn bounding_rect(&self) -> Rect<D> {
+        let half = Vector::from_fn(|i| {
+            let mut acc = 0.0;
+            for j in 0..D {
+                acc += self.eigenvectors[(i, j)].abs() * self.half_widths[j];
+            }
+            acc
+        });
+        Rect::centered(&self.center, &half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprq_linalg::Matrix;
+
+    fn paper_query(gamma: f64) -> PrqQuery<2> {
+        let s3 = 3.0f64.sqrt();
+        let sigma = Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma);
+        PrqQuery::new(Vector::from([500.0, 500.0]), sigma, 25.0, 0.01).unwrap()
+    }
+
+    fn or(gamma: f64) -> (PrqQuery<2>, OrFilter<2>) {
+        let q = paper_query(gamma);
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let f = OrFilter::new(&q, &region);
+        (q, f)
+    }
+
+    #[test]
+    fn half_widths_follow_eq20() {
+        // γ = 10: Σ eigenvalues are 90 and 10 → half-widths
+        // r_θ·√90 + 25 and r_θ·√10 + 25.
+        let (_, f) = or(10.0);
+        let r = 2.7971;
+        let w = f.half_widths();
+        assert!((w[0] - (r * 90.0f64.sqrt() + 25.0)).abs() < 1e-2, "{w}");
+        assert!((w[1] - (r * 10.0f64.sqrt() + 25.0)).abs() < 1e-2, "{w}");
+    }
+
+    #[test]
+    fn center_passes_far_point_fails() {
+        let (q, f) = or(10.0);
+        assert!(f.passes(q.center()));
+        assert!(!f.passes(&(*q.center() + Vector::from([500.0, 0.0]))));
+    }
+
+    #[test]
+    fn oblique_box_tighter_than_rr_along_diagonal() {
+        // The paper's Σ is a 30°-tilted 3:1 ellipse. A point placed along
+        // the *minor* axis direction beyond the oblique box but inside
+        // the RR search rect demonstrates OR's extra pruning power.
+        use crate::strategy::rr::{FringeMode, RrFilter};
+        let (q, f) = or(100.0);
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let rr = RrFilter::new(&q, region, FringeMode::Disabled);
+        let rect = rr.search_rect();
+        let eig = q.gaussian().eigen();
+        let minor = eig.eigenvector(1);
+        // Walk along the minor axis: find a point in the RR rect but
+        // outside the oblique box.
+        let mut found = false;
+        let mut t = 0.0;
+        while t < 500.0 {
+            let p = *q.center() + minor * t;
+            if rect.contains_point(&p) && !f.passes(&p) {
+                found = true;
+                break;
+            }
+            t += 1.0;
+        }
+        assert!(found, "OR should prune minor-axis points RR keeps");
+    }
+
+    #[test]
+    fn filter_never_prunes_near_ellipsoid() {
+        // Safety: every point within δ of the θ-region ellipsoid must
+        // pass (the oblique box bounds the Minkowski sum of the
+        // ellipsoid with the δ-ball).
+        let (q, f) = or(10.0);
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let g = q.gaussian();
+        let eig = g.eigen();
+        let r = region.r_theta();
+        for k in 0..128 {
+            let angle = k as f64 / 128.0 * std::f64::consts::TAU;
+            // Boundary point of the ellipsoid, then push δ outward along
+            // the radial direction (stays within the Minkowski sum).
+            let dir = eig.eigenvector(0) * (eig.eigenvalues[0].sqrt() * angle.cos())
+                + eig.eigenvector(1) * (eig.eigenvalues[1].sqrt() * angle.sin());
+            let boundary = *g.mean() + dir * r;
+            let outward = (boundary - *g.mean()).normalized().unwrap();
+            let p = boundary + outward * (q.delta() * 0.999);
+            assert!(f.passes(&p), "pruned a Minkowski-sum point at {angle}");
+        }
+    }
+
+    #[test]
+    fn bounding_rect_contains_oblique_box() {
+        let (q, f) = or(10.0);
+        let rect = f.bounding_rect();
+        // Corners of the oblique box in the eigenbasis map inside rect.
+        // Shrink infinitesimally: the rotation round-trip can push an
+        // exact corner past the boundary by one ulp.
+        let w = *f.half_widths();
+        let shrink = 1.0 - 1e-9;
+        for signs in [[1.0, 1.0], [1.0, -1.0], [-1.0, 1.0], [-1.0, -1.0]] {
+            let y = Vector::from([signs[0] * w[0] * shrink, signs[1] * w[1] * shrink]);
+            let p = *q.center() + q.gaussian().eigen().from_eigenbasis(&y);
+            assert!(rect.contains_point(&p));
+            assert!(f.passes(&p), "corner itself is in the box");
+        }
+        // The bounding rect of the oblique box is generally larger than
+        // the RR search rect along some axis (the paper's reason to use
+        // OR only as a filter).
+        let diag = rect.hi - rect.lo;
+        assert!(diag[0] > 0.0 && diag[1] > 0.0);
+    }
+
+    #[test]
+    fn isotropic_covariance_makes_or_equal_rr_box() {
+        // With Σ = s²·I the eigenbasis is arbitrary but the box is a
+        // square of half-width r_θ·s + δ in any orientation.
+        let q = PrqQuery::<2>::new(Vector::ZERO, Matrix::identity().scale(4.0), 2.0, 0.05).unwrap();
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let f = OrFilter::new(&q, &region);
+        let w = f.half_widths();
+        let expect = region.r_theta() * 2.0 + 2.0;
+        assert!((w[0] - expect).abs() < 1e-9);
+        assert!((w[1] - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based *filter safety* tests: over randomized covariances,
+//! thresholds, and object layouts, no strategy may ever prune an object
+//! whose true qualification probability (by deterministic quadrature)
+//! reaches θ — and BF's sure-accepts must all be true answers.
+//!
+//! This is the load-bearing invariant of the whole paper: Phase-2
+//! filtering must be *lossless*; only Phase-3 integration may decide
+//! borderline objects.
+
+use gprq_core::{BfBounds, BfClass, FringeMode, OrFilter, PrqQuery, RrFilter, ThetaRegion};
+use gprq_gaussian::integrate::quadrature_probability_2d;
+use gprq_linalg::{Matrix, Vector};
+use proptest::prelude::*;
+
+/// Random SPD covariance from std-devs and a rotation angle.
+fn covariance(sx: f64, sy: f64, angle: f64) -> Matrix<2> {
+    let (s, c) = angle.sin_cos();
+    let (l1, l2) = (sx * sx, sy * sy);
+    Matrix::from_rows([
+        [c * c * l1 + s * s * l2, s * c * (l1 - l2)],
+        [s * c * (l1 - l2), s * s * l1 + c * c * l2],
+    ])
+}
+
+/// Strategy parameters drawn wide enough to hit degenerate corners
+/// (near-isotropic, extremely thin, tiny/large δ, tiny/large θ).
+fn params() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
+    (
+        0.5..30.0f64,   // σ major
+        0.1..10.0f64,   // σ minor
+        -3.2..3.2f64,   // rotation
+        0.5..40.0f64,   // δ
+        0.001..0.45f64, // θ
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any object with true probability ≥ θ passes every filter.
+    #[test]
+    fn no_filter_prunes_a_true_answer(
+        (smaj, smin, angle, delta, theta) in params(),
+        offsets in proptest::collection::vec((-80.0f64..80.0, -80.0f64..80.0), 24),
+    ) {
+        let sigma = covariance(smaj.max(smin), smin.min(smaj), angle);
+        let q = PrqQuery::new(Vector::from([0.0, 0.0]), sigma, delta, theta).unwrap();
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let rr = RrFilter::new(&q, region.clone(), FringeMode::AllDimensions);
+        let or = OrFilter::new(&q, &region);
+        let bf = BfBounds::exact(&q);
+        let search = rr.search_rect();
+
+        for (dx, dy) in &offsets {
+            let o = Vector::from([*dx, *dy]);
+            let p = quadrature_probability_2d(q.gaussian(), &o, delta, 48, 96);
+            // Use a guard band: quadrature itself is exact to ~1e-9, but
+            // filters computed from radii resolved to ~1e-12 can disagree
+            // exactly at the boundary. 1e-6 over θ is decisively inside.
+            if p >= theta + 1e-6 {
+                prop_assert!(search.contains_point(&o),
+                    "Phase-1 box dropped true answer at {o} (p = {p}, θ = {theta})");
+                prop_assert!(rr.passes(&o),
+                    "RR fringe dropped true answer at {o} (p = {p}, θ = {theta})");
+                prop_assert!(or.passes(&o),
+                    "OR dropped true answer at {o} (p = {p}, θ = {theta})");
+                prop_assert!(bf.classify(&o) != BfClass::Reject,
+                    "BF rejected true answer at {o} (p = {p}, θ = {theta})");
+            }
+            // Dual invariant: BF sure-accepts are true answers.
+            if bf.classify(&o) == BfClass::Accept {
+                prop_assert!(p >= theta - 1e-6,
+                    "BF sure-accepted non-answer at {o} (p = {p}, θ = {theta})");
+            }
+        }
+    }
+
+    /// The BF search box (α∥ per axis) also never excludes a true answer
+    /// when BF is the Phase-1 primary.
+    #[test]
+    fn bf_search_box_is_safe(
+        (smaj, smin, angle, delta, theta) in params(),
+        radial in proptest::collection::vec((0.0f64..120.0, -3.2f64..3.2), 16),
+    ) {
+        let sigma = covariance(smaj.max(smin), smin.min(smaj), angle);
+        let q = PrqQuery::new(Vector::from([0.0, 0.0]), sigma, delta, theta).unwrap();
+        let bf = BfBounds::exact(&q);
+        match bf.search_rect() {
+            Some(rect) => {
+                for (r, phi) in &radial {
+                    let o = Vector::from([r * phi.cos(), r * phi.sin()]);
+                    let p = quadrature_probability_2d(q.gaussian(), &o, delta, 48, 96);
+                    if p >= theta + 1e-6 {
+                        prop_assert!(rect.contains_point(&o),
+                            "BF box dropped true answer at {o} (p = {p})");
+                    }
+                }
+            }
+            None => {
+                // RejectAll: prove no object can qualify anywhere, probing
+                // the most favorable spot (the center).
+                let p = quadrature_probability_2d(q.gaussian(), q.center(), delta, 48, 96);
+                prop_assert!(p < theta + 1e-6,
+                    "RejectAll but center has p = {p} ≥ θ = {theta}");
+            }
+        }
+    }
+
+    /// The θ-region really holds ≥ 1 − 2θ of the mass (Definition 3) —
+    /// checked via the Mahalanobis radius against the chi CDF.
+    #[test]
+    fn theta_region_mass((smaj, smin, angle, delta, theta) in params()) {
+        let sigma = covariance(smaj.max(smin), smin.min(smaj), angle);
+        let q = PrqQuery::new(Vector::from([0.0, 0.0]), sigma, delta, theta).unwrap();
+        let region = ThetaRegion::for_query(&q).unwrap();
+        let mass = gprq_gaussian::chi::chi_ball_probability(2, region.r_theta());
+        prop_assert!((mass - (1.0 - 2.0 * theta)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-dimensional sanity suite. The paper restricts itself to `d ≥ 2`
+//! because the 1-D qualification probability has the closed form
+//! `Φ((o+δ−q)/σ) − Φ((o−δ−q)/σ)`; our generic code still instantiates at
+//! `D = 1`, so every strategy can be validated against that exact answer.
+
+use gprq_core::{
+    execute_naive, BfBounds, BfClass, ProbabilityEvaluator, PrqExecutor, PrqQuery, StrategySet,
+};
+use gprq_gaussian::integrate::analytic_interval_probability_1d;
+use gprq_gaussian::Gaussian;
+use gprq_linalg::{Matrix, Vector};
+use gprq_rtree::{RStarParams, RTree};
+
+/// Deterministic evaluator using the 1-D closed form — Phase 3 becomes
+/// exact, so strategy equivalence checks are noise-free.
+struct Analytic1d;
+
+impl ProbabilityEvaluator<1> for Analytic1d {
+    fn probability(&mut self, gaussian: &Gaussian<1>, center: &Vector<1>, delta: f64) -> f64 {
+        let (mean, std) = gaussian.marginal_1d(0);
+        analytic_interval_probability_1d(mean, std, center[0], delta)
+    }
+}
+
+fn line_tree(n: usize) -> RTree<1, usize> {
+    let points: Vec<(Vector<1>, usize)> = (0..n)
+        .map(|i| (Vector::from([i as f64 * 0.5]), i))
+        .collect();
+    RTree::bulk_load(points, RStarParams::new(16))
+}
+
+fn query(center: f64, var: f64, delta: f64, theta: f64) -> PrqQuery<1> {
+    PrqQuery::new(
+        Vector::from([center]),
+        Matrix::from_rows([[var]]),
+        delta,
+        theta,
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_strategies_match_analytic_truth() {
+    let tree = line_tree(400);
+    let q = query(100.0, 16.0, 5.0, 0.1);
+    // Ground truth from the closed form over a full scan.
+    let mut truth: Vec<usize> = tree
+        .iter()
+        .filter(|(p, _)| analytic_interval_probability_1d(100.0, 4.0, p[0], 5.0) >= 0.1)
+        .map(|(_, d)| *d)
+        .collect();
+    truth.sort_unstable();
+    assert!(!truth.is_empty());
+
+    for (name, set) in StrategySet::PAPER_COMBINATIONS {
+        let outcome = PrqExecutor::new(set)
+            .execute(&tree, &q, &mut Analytic1d)
+            .unwrap();
+        let mut ids: Vec<usize> = outcome.answers.iter().map(|(_, d)| **d).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, truth, "strategy {name}");
+    }
+}
+
+#[test]
+fn bf_bounds_collapse_in_one_dim() {
+    // In 1-D, λ∥ = λ⊥ (a single eigenvalue): the bounding functions are
+    // the density itself, so the annulus collapses — everything is
+    // decided without integration (the paper's "completely spherical"
+    // best case, §VI-B).
+    let q = query(0.0, 9.0, 4.0, 0.2);
+    let b = BfBounds::exact(&q);
+    match (b.reject, b.accept) {
+        (gprq_core::RejectBound::Radius(par), Some(perp)) => {
+            assert!(
+                (par - perp).abs() < 1e-6,
+                "annulus should collapse: α∥ = {par}, α⊥ = {perp}"
+            );
+        }
+        other => panic!("unexpected bounds {other:?}"),
+    }
+    // Consequently BF classifies everything Accept or Reject.
+    for x in [-20.0, -5.0, -1.0, 0.0, 2.0, 6.0, 30.0] {
+        let class = b.classify(&Vector::from([x]));
+        assert_ne!(
+            class,
+            BfClass::NeedsIntegration,
+            "1-D BF should never integrate (x = {x})"
+        );
+    }
+}
+
+#[test]
+fn bf_only_execution_never_integrates_in_1d() {
+    let tree = line_tree(1000);
+    let q = query(250.0, 25.0, 10.0, 0.05);
+    let outcome = PrqExecutor::new(StrategySet::BF)
+        .execute(&tree, &q, &mut Analytic1d)
+        .unwrap();
+    assert_eq!(
+        outcome.stats.integrations, 0,
+        "spherical case should decide all candidates by bounds"
+    );
+    // Cross-check answers against naive analytic.
+    let naive = execute_naive(&tree, &q, &mut Analytic1d);
+    let ids = |o: &gprq_core::PrqOutcome<'_, 1, usize>| {
+        let mut v: Vec<usize> = o.answers.iter().map(|(_, d)| **d).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids(&outcome), ids(&naive));
+}
+
+#[test]
+fn analytic_evaluator_matches_importance_sampling() {
+    use gprq_core::MonteCarloEvaluator;
+    let tree = line_tree(300);
+    let q = query(75.0, 4.0, 3.0, 0.2);
+    let exact = PrqExecutor::new(StrategySet::ALL)
+        .execute(&tree, &q, &mut Analytic1d)
+        .unwrap();
+    let mut mc = MonteCarloEvaluator::new(200_000, 5);
+    let sampled = PrqExecutor::new(StrategySet::ALL)
+        .execute(&tree, &q, &mut mc)
+        .unwrap();
+    // Identical up to MC noise at the threshold: allow at most the two
+    // boundary objects to flip.
+    let ids = |o: &gprq_core::PrqOutcome<'_, 1, usize>| {
+        let mut v: Vec<usize> = o.answers.iter().map(|(_, d)| **d).collect();
+        v.sort_unstable();
+        v
+    };
+    let (a, b) = (ids(&exact), ids(&sampled));
+    let diff = a
+        .iter()
+        .filter(|x| b.binary_search(x).is_err())
+        .chain(b.iter().filter(|x| a.binary_search(x).is_err()))
+        .count();
+    assert!(diff <= 2, "sets differ by {diff}: {a:?} vs {b:?}");
+}

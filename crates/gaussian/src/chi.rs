@@ -1,0 +1,243 @@
+//! Centered ball probabilities of the standard Gaussian — the chi
+//! distribution.
+//!
+//! For `x ~ N(0, I_d)`, the probability that `x` falls inside the centered
+//! ball of radius `r` is
+//!
+//! ```text
+//! P(‖x‖ ≤ r) = P(χ_d ≤ r) = P(χ²_d ≤ r²) = P(d/2, r²/2)
+//! ```
+//!
+//! with `P(a, x)` the regularized lower incomplete gamma function. This is
+//! exactly the integral of paper Eq. 7 defining `r̃_θ` (and by Property 1,
+//! `r_θ = r̃_θ`), and it is the curve family plotted in the paper's Fig. 17.
+//!
+//! The paper computes `r_θ` by pre-tabulating Monte-Carlo integrations into
+//! a *U-catalog*; we provide the exact closed form here and reproduce the
+//! table-based path (plus an ablation comparing both) in `gprq-core`.
+
+use crate::specfun::regularized_gamma_p;
+
+/// CDF of the chi-squared distribution with `d` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `d == 0`; debug-asserts `x ≥ 0`.
+pub fn chi_squared_cdf(d: usize, x: f64) -> f64 {
+    assert!(d > 0, "chi-squared requires d >= 1");
+    debug_assert!(x >= 0.0);
+    regularized_gamma_p(0.5 * d as f64, 0.5 * x)
+}
+
+/// Probability that a standard `d`-dimensional Gaussian falls inside the
+/// centered ball of radius `r`: `P(‖x‖ ≤ r)` (paper Eq. 7, Fig. 17).
+pub fn chi_ball_probability(d: usize, r: f64) -> f64 {
+    debug_assert!(r >= 0.0);
+    chi_squared_cdf(d, r * r)
+}
+
+/// Inverse of [`chi_ball_probability`] in `r`: the radius containing
+/// probability mass `p`.
+///
+/// This computes the paper's `r_θ` **exactly**: for a probabilistic range
+/// query with threshold `θ`, `r_θ = chi_inverse(d, 1 − 2θ)` (Definition 5 +
+/// Property 1).
+///
+/// Solved by bracketed bisection refined with Newton steps; the CDF is
+/// smooth and strictly monotone so this converges to full precision.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1)` or `d == 0`.
+pub fn chi_inverse(d: usize, p: f64) -> f64 {
+    assert!(d > 0, "chi distribution requires d >= 1");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "chi_inverse requires 0 < p < 1, got {p}"
+    );
+
+    // Bracket: the chi mean is ~√d; expand until the CDF straddles p.
+    let mut hi = (d as f64).sqrt() + 1.0;
+    while chi_ball_probability(d, hi) < p {
+        hi *= 2.0;
+        if hi > 1e6 {
+            break;
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi_ball_probability(d, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Probability density function of the chi distribution with `d` degrees of
+/// freedom, `f(r) = r^{d−1} e^{−r²/2} / (2^{d/2−1} Γ(d/2))`.
+///
+/// Exposed for the experiment harness (it annotates Fig. 17 with the mode
+/// `√(d−1)` of the radial density, which explains the "curse of
+/// dimensionality" discussion in §VI-B).
+pub fn chi_pdf(d: usize, r: f64) -> f64 {
+    assert!(d > 0);
+    if r < 0.0 {
+        return 0.0;
+    }
+    if r == 0.0 {
+        return if d == 1 {
+            (2.0 / std::f64::consts::PI).sqrt()
+        } else {
+            0.0
+        };
+    }
+    let df = d as f64;
+    let ln_pdf = (df - 1.0) * r.ln()
+        - 0.5 * r * r
+        - (0.5 * df - 1.0) * std::f64::consts::LN_2
+        - crate::specfun::ln_gamma(0.5 * df);
+    ln_pdf.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_dimensional_closed_form() {
+        // In 2-D, P(‖x‖ ≤ r) = 1 − e^{−r²/2} exactly.
+        for &r in &[0.1, 0.5, 1.0, 2.0, 2.797, 5.0] {
+            let expect = 1.0 - f64::exp(-0.5 * r * r);
+            assert!(
+                (chi_ball_probability(2, r) - expect).abs() < 1e-13,
+                "r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_fig17_anchor_2d() {
+        // §VI-B: "if a query object obeys 2D pnorm distribution, the
+        // probability that the object is located within distance one from
+        // the origin is 39%".
+        let p = chi_ball_probability(2, 1.0);
+        assert!((p - 0.393_469_340_287_366_6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig17_anchor_9d() {
+        // §VI-B: "for the 9D case, the probability that a query object is
+        // located within distance two from the query center is only 9%".
+        let p = chi_ball_probability(9, 2.0);
+        assert!((p - 0.089).abs() < 0.003, "got {p}");
+    }
+
+    #[test]
+    fn paper_r_theta_anchors() {
+        // §V/§VI anchors: r_θ for 1−2θ mass.
+        // d = 2, θ = 0.01 → r_θ = 2.79…
+        let r = chi_inverse(2, 0.98);
+        assert!((r - 2.796_999).abs() < 1e-3, "got {r}");
+        // d = 9, θ = 0.01 → r_θ = 4.44 (paper §VI-B).
+        let r = chi_inverse(9, 0.98);
+        assert!((r - 4.44).abs() < 0.01, "got {r}");
+        // d = 9, θ = 0.40 → r_θ = 2.32 (paper §VI-A).
+        let r = chi_inverse(9, 0.20);
+        assert!((r - 2.32).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for d in [1usize, 2, 3, 5, 9, 15] {
+            for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+                let r = chi_inverse(d, p);
+                assert!(
+                    (chi_ball_probability(d, r) - p).abs() < 1e-10,
+                    "d = {d}, p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chi_squared_cdf_anchor() {
+        // χ²_1: CDF(1) = erf(1/√2) = 0.682689492137086.
+        assert!((chi_squared_cdf(1, 1.0) - 0.682_689_492_137_085_9).abs() < 1e-12);
+        // χ²_2: CDF(x) = 1 − e^{−x/2}.
+        assert!((chi_squared_cdf(2, 3.0) - (1.0 - (-1.5f64).exp())).abs() < 1e-13);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        // Trapezoid-integrate the pdf and compare with the CDF (d = 5).
+        let d = 5;
+        let n = 20_000;
+        let rmax = 4.0;
+        let h = rmax / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = i as f64 * h;
+            let b = a + h;
+            acc += 0.5 * (chi_pdf(d, a) + chi_pdf(d, b)) * h;
+        }
+        assert!((acc - chi_ball_probability(d, rmax)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pdf_edge_cases() {
+        assert_eq!(chi_pdf(3, -1.0), 0.0);
+        assert_eq!(chi_pdf(3, 0.0), 0.0);
+        // d = 1 pdf at 0 is √(2/π) (half-normal).
+        assert!((chi_pdf(1, 0.0) - (2.0 / std::f64::consts::PI).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_dimension_needs_larger_radius() {
+        // The "curse of dimensionality" effect of Fig. 17: at fixed radius,
+        // the contained probability drops as d grows.
+        let r = 2.0;
+        let mut prev = 1.0;
+        for d in [2usize, 3, 5, 9, 15] {
+            let p = chi_ball_probability(d, r);
+            assert!(p < prev, "d = {d}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn inverse_rejects_p_one() {
+        chi_inverse(2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 1")]
+    fn cdf_rejects_zero_dim() {
+        chi_squared_cdf(0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone_in_radius(d in 1usize..16, r in 0.0..8.0f64, dr in 0.001..2.0f64) {
+            prop_assert!(chi_ball_probability(d, r + dr) > chi_ball_probability(d, r) - 1e-15);
+        }
+
+        #[test]
+        fn prop_cdf_decreasing_in_dim(d in 1usize..15, r in 0.1..6.0f64) {
+            prop_assert!(chi_ball_probability(d, r) >= chi_ball_probability(d + 1, r) - 1e-12);
+        }
+
+        #[test]
+        fn prop_inverse_consistent(d in 1usize..16, p in 0.001..0.999f64) {
+            let r = chi_inverse(d, p);
+            prop_assert!((chi_ball_probability(d, r) - p).abs() < 1e-9);
+        }
+    }
+}

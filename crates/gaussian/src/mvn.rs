@@ -1,0 +1,407 @@
+//! The multivariate Gaussian distribution `N(q, Σ)` of paper Eq. 1.
+
+use gprq_linalg::{Cholesky, LinalgError, Matrix, SymmetricEigen, Vector};
+
+/// A `d`-dimensional Gaussian distribution with mean `q` and covariance `Σ`
+/// (paper Definition 1):
+///
+/// ```text
+/// p_q(x) = (2π)^{−d/2} |Σ|^{−1/2} exp( −½ (x−q)ᵗ Σ⁻¹ (x−q) )
+/// ```
+///
+/// Construction validates that `Σ` is symmetric positive-definite and
+/// precomputes everything the query strategies need: the Cholesky factor
+/// (sampling, Mahalanobis forms), the explicit inverse `Σ⁻¹`, the spectral
+/// decomposition (OR/BF strategies), and the log normalization constant.
+///
+/// ```
+/// use gprq_gaussian::Gaussian;
+/// use gprq_linalg::{Matrix, Vector};
+///
+/// let g = Gaussian::new(Vector::from([0.0, 0.0]), Matrix::<2>::identity()).unwrap();
+/// // Standard normal density at the origin is 1/(2π).
+/// assert!((g.pdf(&Vector::from([0.0, 0.0])) - 1.0 / std::f64::consts::TAU).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gaussian<const D: usize> {
+    mean: Vector<D>,
+    covariance: Matrix<D>,
+    cholesky: Cholesky<D>,
+    precision: Matrix<D>,
+    eigen: SymmetricEigen<D>,
+    log_norm_const: f64,
+}
+
+impl<const D: usize> Gaussian<D> {
+    /// Creates a Gaussian from mean and covariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`LinalgError`] if `Σ` is not symmetric
+    /// positive-definite or contains non-finite entries, or
+    /// [`LinalgError::NonFinite`] if the mean does.
+    pub fn new(mean: Vector<D>, covariance: Matrix<D>) -> Result<Self, LinalgError> {
+        if !mean.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let cholesky = covariance.cholesky()?;
+        let eigen = covariance.symmetric_eigen()?;
+        let precision = cholesky.inverse();
+        let d = D as f64;
+        let log_norm_const =
+            -0.5 * d * (2.0 * std::f64::consts::PI).ln() - 0.5 * cholesky.log_determinant();
+        Ok(Gaussian {
+            mean,
+            covariance,
+            cholesky,
+            precision,
+            eigen,
+            log_norm_const,
+        })
+    }
+
+    /// The standard Gaussian `N(0, I)` — paper Definition 4's
+    /// `p_norm`.
+    pub fn standard() -> Self {
+        Self::new(Vector::ZERO, Matrix::identity()).expect("identity covariance is SPD")
+    }
+
+    /// Mean vector `q`.
+    pub fn mean(&self) -> &Vector<D> {
+        &self.mean
+    }
+
+    /// Covariance matrix `Σ`.
+    pub fn covariance(&self) -> &Matrix<D> {
+        &self.covariance
+    }
+
+    /// Precision matrix `Σ⁻¹`.
+    pub fn precision(&self) -> &Matrix<D> {
+        &self.precision
+    }
+
+    /// Cholesky factor of `Σ` (lower-triangular `L` with `Σ = L·Lᵗ`).
+    pub fn cholesky(&self) -> &Cholesky<D> {
+        &self.cholesky
+    }
+
+    /// Spectral decomposition of `Σ` (eigenvalues descending).
+    ///
+    /// Note the paper works with the spectrum of `Σ⁻¹` (Eq. 8); the two
+    /// share eigenvectors and have reciprocal eigenvalues, which
+    /// [`Gaussian::precision_eigenvalues`] exposes directly.
+    pub fn eigen(&self) -> &SymmetricEigen<D> {
+        &self.eigen
+    }
+
+    /// Eigenvalues of `Σ⁻¹` in **ascending** order (reciprocals of the
+    /// descending `Σ` spectrum), i.e. `λ₁ … λ_d` of paper Eq. 8 with
+    /// `λ∥ = first`, `λ⊥ = last` (Eqs. 9–10).
+    pub fn precision_eigenvalues(&self) -> Vector<D> {
+        Vector::from_fn(|i| 1.0 / self.eigen.eigenvalues[i])
+    }
+
+    /// `λ∥ = min λᵢ(Σ⁻¹)` (paper Eq. 9) — builds the *upper* bounding
+    /// function `p∥` of Definition 6.
+    pub fn lambda_parallel(&self) -> f64 {
+        1.0 / self.eigen.max_eigenvalue()
+    }
+
+    /// `λ⊥ = max λᵢ(Σ⁻¹)` (paper Eq. 10) — builds the *lower* bounding
+    /// function `p⊥` of Definition 6.
+    pub fn lambda_perp(&self) -> f64 {
+        1.0 / self.eigen.min_eigenvalue()
+    }
+
+    /// Determinant `|Σ|`.
+    pub fn det_covariance(&self) -> f64 {
+        self.cholesky.determinant()
+    }
+
+    /// `ln |Σ|`, stable for near-degenerate covariances.
+    pub fn log_det_covariance(&self) -> f64 {
+        self.cholesky.log_determinant()
+    }
+
+    /// Per-axis standard deviation `σᵢ = √(Σ)ᵢᵢ` (paper Eq. 17) — the
+    /// half-widths of the θ-region bounding box are `wᵢ = σᵢ·r_θ`
+    /// (Property 2).
+    pub fn axis_std_devs(&self) -> Vector<D> {
+        Vector::from_fn(|i| self.covariance[(i, i)].sqrt())
+    }
+
+    /// Squared Mahalanobis distance `(x−q)ᵗ Σ⁻¹ (x−q)`.
+    pub fn mahalanobis_squared(&self, x: &Vector<D>) -> f64 {
+        self.cholesky.mahalanobis_squared(&(*x - self.mean))
+    }
+
+    /// Log density `ln p_q(x)`.
+    pub fn log_pdf(&self, x: &Vector<D>) -> f64 {
+        self.log_norm_const - 0.5 * self.mahalanobis_squared(x)
+    }
+
+    /// Density `p_q(x)` (paper Eq. 1).
+    pub fn pdf(&self, x: &Vector<D>) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// The value of the *upper* bounding function `p∥(x)` of paper Eq. 24:
+    /// the Gaussian kernel with `Σ⁻¹` replaced by `λ∥·I`, sharing the same
+    /// normalization constant as `p_q`. Satisfies `p_q(x) ≤ p∥(x)`.
+    pub fn upper_bound_pdf(&self, x: &Vector<D>) -> f64 {
+        (self.log_norm_const - 0.5 * self.lambda_parallel() * x.distance_squared(&self.mean)).exp()
+    }
+
+    /// The value of the *lower* bounding function `p⊥(x)` of paper Eq. 25.
+    /// Satisfies `p⊥(x) ≤ p_q(x)`.
+    pub fn lower_bound_pdf(&self, x: &Vector<D>) -> f64 {
+        (self.log_norm_const - 0.5 * self.lambda_perp() * x.distance_squared(&self.mean)).exp()
+    }
+
+    /// Convolution with an independent Gaussian: the distribution of
+    /// `x − o` when `x ~ N(q, Σ)` and `o ~ N(µ, Σ_o)` is
+    /// `N(q − µ, Σ + Σ_o)`.
+    ///
+    /// This powers the *uncertain targets* extension (paper §VII, future
+    /// work 2): a range query against an imprecise target reduces exactly
+    /// to a query with the combined covariance.
+    pub fn convolve(
+        &self,
+        other_mean: &Vector<D>,
+        other_cov: &Matrix<D>,
+    ) -> Result<Self, LinalgError> {
+        Self::new(self.mean - *other_mean, self.covariance + *other_cov)
+    }
+
+    /// Marginal distribution of one coordinate: `xᵢ ~ N(qᵢ, Σᵢᵢ)`.
+    ///
+    /// Returns `(mean, std_dev)`. Useful for the 1-D analytic
+    /// qualification probability and for per-axis reporting in the
+    /// localization examples.
+    pub fn marginal_1d(&self, axis: usize) -> (f64, f64) {
+        assert!(axis < D, "axis {axis} out of range for dimension {D}");
+        (self.mean[axis], self.covariance[(axis, axis)].sqrt())
+    }
+
+    /// Conditional distribution of coordinate `axis` given the exact
+    /// values of all the *other* coordinates (the standard Gaussian
+    /// conditioning formula, specialized to a scalar target):
+    ///
+    /// ```text
+    /// xᵢ | x₋ᵢ = v  ~  N( qᵢ + Σᵢ,₋ᵢ Σ₋ᵢ,₋ᵢ⁻¹ (v − q₋ᵢ),
+    ///                    Σᵢᵢ − Σᵢ,₋ᵢ Σ₋ᵢ,₋ᵢ⁻¹ Σ₋ᵢ,ᵢ )
+    /// ```
+    ///
+    /// Implemented via the precision matrix: for a Gaussian with
+    /// precision `Λ = Σ⁻¹`, the conditional of `xᵢ` given the rest is
+    /// `N(qᵢ − Λᵢᵢ⁻¹·Σⱼ≠ᵢ Λᵢⱼ (vⱼ − qⱼ), Λᵢᵢ⁻¹)` — one row of a solve.
+    ///
+    /// Returns `(mean, std_dev)`.
+    pub fn conditional_1d(&self, axis: usize, given: &Vector<D>) -> (f64, f64) {
+        assert!(axis < D, "axis {axis} out of range for dimension {D}");
+        let lambda_ii = self.precision[(axis, axis)];
+        let mut shift = 0.0;
+        for j in 0..D {
+            if j != axis {
+                shift += self.precision[(axis, j)] * (given[j] - self.mean[j]);
+            }
+        }
+        (
+            self.mean[axis] - shift / lambda_ii,
+            (1.0 / lambda_ii).sqrt(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigma_paper(gamma: f64) -> Matrix<2> {
+        let s3 = 3.0f64.sqrt();
+        Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma)
+    }
+
+    fn paper_gaussian(gamma: f64) -> Gaussian<2> {
+        Gaussian::new(Vector::from([500.0, 500.0]), sigma_paper(gamma)).unwrap()
+    }
+
+    #[test]
+    fn standard_normal_density() {
+        let g = Gaussian::<3>::standard();
+        let expect = (2.0 * std::f64::consts::PI).powf(-1.5);
+        assert!((g.pdf(&Vector::ZERO) - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn density_is_maximal_at_mean() {
+        let g = paper_gaussian(10.0);
+        let at_mean = g.pdf(g.mean());
+        for &offset in &[[1.0, 0.0], [0.0, 1.0], [-5.0, 3.0], [100.0, -50.0]] {
+            let x = *g.mean() + Vector::from(offset);
+            assert!(g.pdf(&x) < at_mean);
+        }
+    }
+
+    #[test]
+    fn normalization_constant_2d() {
+        // For d = 2, p(q) = 1 / (2π√|Σ|); paper Σ(γ=1) has |Σ| = 9.
+        let g = paper_gaussian(1.0);
+        let expect = 1.0 / (2.0 * std::f64::consts::PI * 3.0);
+        assert!((g.pdf(g.mean()) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_parallel_perp_ordering() {
+        let g = paper_gaussian(1.0);
+        // Σ eigenvalues are 9 and 1 → Σ⁻¹ eigenvalues 1/9 and 1.
+        assert!((g.lambda_parallel() - 1.0 / 9.0).abs() < 1e-10);
+        assert!((g.lambda_perp() - 1.0).abs() < 1e-10);
+        assert!(g.lambda_parallel() <= g.lambda_perp());
+    }
+
+    #[test]
+    fn precision_eigenvalues_ascending_and_reciprocal() {
+        let g = paper_gaussian(10.0);
+        let pe = g.precision_eigenvalues();
+        assert!(pe[0] <= pe[1]);
+        assert!((pe[0] - g.lambda_parallel()).abs() < 1e-12);
+        assert!((pe[1] - g.lambda_perp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_functions_sandwich_density() {
+        let g = paper_gaussian(10.0);
+        // Property 4: p⊥(x) ≤ p_q(x) ≤ p∥(x) for any x.
+        for &offset in &[
+            [0.0, 0.0],
+            [5.0, 0.0],
+            [0.0, 5.0],
+            [-10.0, 10.0],
+            [30.0, -15.0],
+            [0.3, 77.0],
+        ] {
+            let x = *g.mean() + Vector::from(offset);
+            let p = g.pdf(&x);
+            assert!(
+                g.lower_bound_pdf(&x) <= p + 1e-15,
+                "lower bound violated at {offset:?}"
+            );
+            assert!(
+                p <= g.upper_bound_pdf(&x) + 1e-15,
+                "upper bound violated at {offset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_tight_on_principal_axes() {
+        // Along the minor axis of Σ the upper bound is *equal* to the
+        // density; along the major axis the lower bound is equal.
+        let g = paper_gaussian(1.0);
+        let e = g.eigen();
+        let major = e.eigenvector(0); // eigenvalue 9 of Σ → λ∥ direction
+        let minor = e.eigenvector(1);
+        let x_major = *g.mean() + major * 3.0;
+        let x_minor = *g.mean() + minor * 3.0;
+        assert!((g.pdf(&x_major) - g.upper_bound_pdf(&x_major)).abs() < 1e-15);
+        assert!((g.pdf(&x_minor) - g.lower_bound_pdf(&x_minor)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axis_std_devs_match_covariance() {
+        let g = paper_gaussian(10.0);
+        let s = g.axis_std_devs();
+        assert!((s[0] - (70.0f64).sqrt()).abs() < 1e-12);
+        assert!((s[1] - (30.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_on_unit_covariance_is_euclidean() {
+        let g = Gaussian::<2>::standard();
+        let x = Vector::from([3.0, 4.0]);
+        assert!((g.mahalanobis_squared(&x) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let not_spd = Matrix::from_rows([[1.0, 2.0], [2.0, 1.0]]);
+        assert!(Gaussian::new(Vector::<2>::ZERO, not_spd).is_err());
+        let nan_mean = Vector::from([f64::NAN, 0.0]);
+        assert!(Gaussian::new(nan_mean, Matrix::<2>::identity()).is_err());
+    }
+
+    #[test]
+    fn convolution_combines_covariances() {
+        let g = paper_gaussian(1.0);
+        let combined = g
+            .convolve(
+                &Vector::from([100.0, 100.0]),
+                &Matrix::<2>::identity().scale(4.0),
+            )
+            .unwrap();
+        assert_eq!(combined.mean().as_slice(), &[400.0, 400.0]);
+        assert!((combined.covariance()[(0, 0)] - (7.0 + 4.0)).abs() < 1e-12);
+        assert!((combined.covariance()[(1, 1)] - (3.0 + 4.0)).abs() < 1e-12);
+        assert!((combined.covariance()[(0, 1)] - sigma_paper(1.0)[(0, 1)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_matches_covariance_diagonal() {
+        let g = paper_gaussian(10.0);
+        let (m0, s0) = g.marginal_1d(0);
+        assert_eq!(m0, 500.0);
+        assert!((s0 - 70.0f64.sqrt()).abs() < 1e-12);
+        let (m1, s1) = g.marginal_1d(1);
+        assert_eq!(m1, 500.0);
+        assert!((s1 - 30.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_shrinks_variance_and_shifts_mean() {
+        let g = paper_gaussian(1.0);
+        // Conditioning on the correlated coordinate must reduce variance:
+        // var(x₀ | x₁) = Σ₀₀ − Σ₀₁²/Σ₁₁ = 7 − 12/3 = 3.
+        let given = Vector::from([0.0, 503.0]); // x₁ = q₁ + 3
+        let (mean, std) = g.conditional_1d(0, &given);
+        assert!(
+            (std * std - 3.0).abs() < 1e-9,
+            "conditional var {}",
+            std * std
+        );
+        // Mean shift: q₀ + Σ₀₁/Σ₁₁ · (v − q₁) = 500 + (2√3/3)·3.
+        let expect = 500.0 + 2.0 * 3.0f64.sqrt();
+        assert!((mean - expect).abs() < 1e-9, "conditional mean {mean}");
+        // Conditioning on the mean itself leaves the mean unchanged.
+        let (mean_at_q, _) = g.conditional_1d(0, g.mean());
+        assert!((mean_at_q - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_of_independent_axes_is_marginal() {
+        let g = Gaussian::new(
+            Vector::from([1.0, 2.0]),
+            Matrix::from_diagonal(&Vector::from([4.0, 9.0])),
+        )
+        .unwrap();
+        let (mean, std) = g.conditional_1d(0, &Vector::from([0.0, 100.0]));
+        let (m_marg, s_marg) = g.marginal_1d(0);
+        assert!((mean - m_marg).abs() < 1e-12);
+        assert!((std - s_marg).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn marginal_rejects_bad_axis() {
+        let g = Gaussian::<2>::standard();
+        g.marginal_1d(2);
+    }
+
+    #[test]
+    fn log_det_matches_det() {
+        let g = paper_gaussian(10.0);
+        assert!((g.log_det_covariance() - g.det_covariance().ln()).abs() < 1e-10);
+        assert!((g.det_covariance() - 900.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,377 @@
+//! Off-center ball probabilities of the standard Gaussian — the noncentral
+//! chi-squared distribution.
+//!
+//! The BF strategy (paper §IV-C) needs, for a standard Gaussian, the
+//! probability mass inside a ball of radius `ρ` whose **center is at
+//! distance `β` from the origin** (paper Eqs. 21 and 27):
+//!
+//! ```text
+//! F_d(β, ρ) = ∫_{‖u − β·e₁‖ ≤ ρ} p_norm(u) du
+//! ```
+//!
+//! By rotational symmetry only the distance `β` matters, and `‖u‖²` with
+//! `u ~ N(β·e₁, I_d)` follows a noncentral chi-squared law with `d` degrees
+//! of freedom and noncentrality `λ = β²`. Hence
+//!
+//! ```text
+//! F_d(β, ρ) = P( χ'²_d(β²) ≤ ρ² )
+//! ```
+//!
+//! which we evaluate with the classical Poisson mixture of central
+//! chi-squared CDFs, expanded outward from the Poisson mode for numerical
+//! robustness at large noncentralities.
+//!
+//! The paper builds its BF U-catalog `(δ, θ, α)` by Monte-Carlo integrating
+//! these quantities offline; [`inverse_center_distance`] is the exact
+//! analogue of the paper's `ucatalog_lookup(δ, θ)` (Eq. 21 solved for the
+//! center offset). `gprq-core` layers the table-based variant on top.
+
+use crate::chi::{chi_ball_probability, chi_squared_cdf};
+use crate::specfun::ln_gamma;
+
+/// Relative series truncation tolerance.
+const SERIES_EPS: f64 = 1e-14;
+/// Hard cap on series terms in each direction (never reached in practice
+/// for the noncentralities that arise from query processing).
+const MAX_TERMS: usize = 100_000;
+
+/// CDF of the noncentral chi-squared distribution:
+/// `P(χ'²_d(λ) ≤ x)` for `d ≥ 1` degrees of freedom and noncentrality
+/// `λ ≥ 0`.
+///
+/// Evaluated as `Σⱼ Pois(j; λ/2) · P(χ²_{d+2j} ≤ x)`, summing outward from
+/// the Poisson mode `⌊λ/2⌋` so the weights never underflow, with the
+/// central CDFs advanced by the stable incomplete-gamma recurrence
+/// `P(a+1, y) = P(a, y) − y^a e^{−y}/Γ(a+1)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`; debug-asserts `λ ≥ 0` and `x ≥ 0`.
+pub fn noncentral_chi_squared_cdf(d: usize, lambda: f64, x: f64) -> f64 {
+    assert!(d > 0, "noncentral chi-squared requires d >= 1");
+    debug_assert!(lambda >= 0.0, "noncentrality must be >= 0, got {lambda}");
+    debug_assert!(x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if lambda < 1e-300 {
+        return chi_squared_cdf(d, x);
+    }
+
+    let a = 0.5 * d as f64; // central shape parameter
+    let y = 0.5 * x; // incomplete-gamma argument
+    let half_lambda = 0.5 * lambda;
+    let ln_y = y.ln();
+
+    // Start at the Poisson mode.
+    let j0 = half_lambda.floor() as usize;
+    let ln_w0 = -half_lambda + (j0 as f64) * half_lambda.ln() - ln_gamma(j0 as f64 + 1.0);
+    let w0 = ln_w0.exp();
+    let c0 = crate::specfun::regularized_gamma_p(a + j0 as f64, y);
+    // Incomplete-gamma increment t_j = y^{a+j} e^{−y} / Γ(a+j+1), advanced
+    // by the recurrences t_{j+1} = t_j · y/(a+j+1) (up) and
+    // t_{j−1} = t_j · (a+j)/y (down) — no per-term ln Γ / exp.
+    let t0 = ((a + j0 as f64) * ln_y - y - ln_gamma(a + j0 as f64 + 1.0)).exp();
+
+    let mut sum = w0 * c0;
+    let mut weight_used = w0;
+
+    // Upward sweep: j = j0+1, j0+2, …
+    {
+        let mut w = w0;
+        let mut c = c0;
+        let mut t = t0;
+        let mut j = j0;
+        for _ in 0..MAX_TERMS {
+            // Advance central CDF: C_{j+1} = C_j − t_j.
+            c -= t;
+            if c < 0.0 {
+                c = 0.0;
+            }
+            t *= y / (a + j as f64 + 1.0);
+            j += 1;
+            w *= half_lambda / j as f64;
+            let term = w * c;
+            sum += term;
+            weight_used += w;
+            let threshold = SERIES_EPS * sum.max(1e-300);
+            if c == 0.0 {
+                break;
+            }
+            // Two rigorous tail bounds; stop when either one is met:
+            // (a) CDFs are decreasing in j, so the tail contributes at
+            //     most (1 − weight_used)·c — but `weight_used` omits the
+            //     below-mode half of the Poisson mass, so this alone can
+            //     fail to trigger when `c` stops decaying;
+            // (b) beyond the mode the weight ratio r = λ/2/(j+1) < 1 and
+            //     keeps shrinking, so the remaining sum is at most
+            //     term·r/(1−r) (a geometric majorant).
+            if (1.0 - weight_used) * c < threshold {
+                break;
+            }
+            let ratio = half_lambda / (j as f64 + 1.0);
+            if ratio < 1.0 && term * ratio / (1.0 - ratio) < threshold {
+                break;
+            }
+        }
+    }
+
+    // Downward sweep: j = j0−1, …, 0.
+    if j0 > 0 {
+        let mut w = w0;
+        let mut c = c0;
+        // s_j = y^{a+j−1} e^{−y} / Γ(a+j) is the downward increment:
+        // C_{j−1} = C_j + s_j, and s_j = t_j · (a+j)/y.
+        let mut s = t0 * (a + j0 as f64) / y;
+        let mut j = j0;
+        loop {
+            c += s;
+            if c > 1.0 {
+                c = 1.0;
+            }
+            w *= j as f64 / half_lambda;
+            j -= 1;
+            s *= (a + j as f64) / y;
+            let term = w * c;
+            sum += term;
+            if j == 0 || term < SERIES_EPS * sum.max(1e-300) {
+                break;
+            }
+        }
+    }
+
+    sum.clamp(0.0, 1.0)
+}
+
+/// Probability that a standard `d`-dimensional Gaussian falls inside the
+/// ball of radius `rho` centered at distance `beta` from the origin
+/// (paper Eq. 21 / Eq. 27, the BF catalog integrand).
+pub fn ball_probability(d: usize, beta: f64, rho: f64) -> f64 {
+    debug_assert!(beta >= 0.0 && rho >= 0.0);
+    if rho == 0.0 {
+        return 0.0;
+    }
+    noncentral_chi_squared_cdf(d, beta * beta, rho * rho)
+}
+
+/// Solves `ball_probability(d, β, rho) = target` for the center distance β.
+///
+/// This is the exact form of the paper's `ucatalog_lookup(δ, θ)` (§IV-C):
+/// given the ball radius and a probability threshold, it returns how far
+/// from the distribution center the ball's center may sit while still
+/// capturing probability mass `target`.
+///
+/// Returns `None` when even the centered ball (`β = 0`) holds less than
+/// `target` mass — the situation of paper Eq. 37 where no internal
+/// "hole" exists and the BF sure-accept radius `α⊥` is undefined.
+///
+/// # Panics
+///
+/// Panics unless `0 < target < 1` and `rho > 0`.
+pub fn inverse_center_distance(d: usize, rho: f64, target: f64) -> Option<f64> {
+    assert!(
+        target > 0.0 && target < 1.0,
+        "target probability must be in (0, 1), got {target}"
+    );
+    assert!(rho > 0.0, "ball radius must be positive");
+
+    let at_center = chi_ball_probability(d, rho);
+    if at_center < target {
+        return None;
+    }
+    if at_center == target {
+        return Some(0.0);
+    }
+
+    // Bracket: F is continuous, strictly decreasing in β, → 0 as β → ∞.
+    let mut lo = 0.0f64;
+    let mut hi = rho + 1.0;
+    while ball_probability(d, hi, rho) > target {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e8 {
+            // Pathological target below attainable precision.
+            return Some(hi);
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ball_probability(d, mid, rho) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * hi.max(1.0) {
+            break;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specfun::std_normal_cdf;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_noncentrality_matches_central() {
+        for d in [1usize, 2, 5, 9] {
+            for &x in &[0.5, 1.0, 4.0, 10.0] {
+                let nc = noncentral_chi_squared_cdf(d, 0.0, x);
+                let c = chi_squared_cdf(d, x);
+                assert!((nc - c).abs() < 1e-13, "d = {d}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_closed_form() {
+        // In 1-D the ball is an interval: F₁(β, ρ) = Φ(β+ρ) − Φ(β−ρ)
+        // (mass of N(0,1) in [β−ρ, β+ρ], by symmetry of the Gaussian).
+        for &beta in &[0.0, 0.5, 1.0, 2.5, 6.0] {
+            for &rho in &[0.25, 1.0, 3.0] {
+                let expect = std_normal_cdf(beta + rho) - std_normal_cdf(beta - rho);
+                let got = ball_probability(1, beta, rho);
+                assert!(
+                    (got - expect).abs() < 1e-11,
+                    "β = {beta}, ρ = {rho}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_dimensional_against_numeric_reference() {
+        // Direct 2-D polar quadrature of the standard Gaussian over an
+        // off-center disc, as an independent oracle.
+        fn reference(beta: f64, rho: f64) -> f64 {
+            let n = 2_000;
+            let mut acc = 0.0;
+            for i in 0..n {
+                let r = (i as f64 + 0.5) / n as f64 * rho;
+                for j in 0..n / 4 {
+                    let phi = (j as f64 + 0.5) / (n / 4) as f64 * std::f64::consts::TAU;
+                    let x = beta + r * phi.cos();
+                    let y = r * phi.sin();
+                    acc += (-0.5 * (x * x + y * y)).exp() * r;
+                }
+            }
+            acc * (rho / n as f64) * (std::f64::consts::TAU / (n / 4) as f64)
+                / std::f64::consts::TAU
+                * std::f64::consts::TAU
+                / (2.0 * std::f64::consts::PI)
+        }
+        for &(beta, rho) in &[(0.5, 1.0), (2.0, 1.5), (3.0, 0.5)] {
+            let got = ball_probability(2, beta, rho);
+            let expect = reference(beta, rho);
+            assert!(
+                (got - expect).abs() < 1e-4,
+                "β = {beta}, ρ = {rho}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_noncentrality_terminates_quickly() {
+        // Regression test for the upward-sweep termination bound: at
+        // β = 106, ρ = 100 (a far-corner U-catalog entry) the old
+        // `(1 − weight_used)·c` bound never fired because `weight_used`
+        // omits the below-mode Poisson mass, so the loop ran to
+        // MAX_TERMS. With the geometric tail bound the evaluation takes
+        // microseconds; this asserts both the value and a time budget
+        // generous enough for any CI machine.
+        let t = std::time::Instant::now();
+        let p = ball_probability(2, 106.0, 100.0);
+        assert!(
+            (p - 9.575e-10).abs() < 1e-12,
+            "value changed: {p:e} (expected ≈ 9.575e-10)"
+        );
+        assert!(
+            t.elapsed() < std::time::Duration::from_millis(50),
+            "far-corner evaluation too slow: {:?}",
+            t.elapsed()
+        );
+    }
+
+    #[test]
+    fn large_noncentrality_is_stable() {
+        // λ/2 far past where naive j=0 series weights underflow.
+        let p = noncentral_chi_squared_cdf(5, 3000.0, 3100.0);
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        assert!(p > 0.5, "median of χ'² is near d + λ, got {p}");
+        let far = noncentral_chi_squared_cdf(5, 3000.0, 100.0);
+        assert!(far < 1e-10);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for d in [1usize, 2, 3, 9] {
+            for &rho in &[0.5, 1.0, 2.5] {
+                for &target in &[0.01, 0.1, 0.3] {
+                    if let Some(beta) = inverse_center_distance(d, rho, target) {
+                        let back = ball_probability(d, beta, rho);
+                        assert!(
+                            (back - target).abs() < 1e-9,
+                            "d = {d}, ρ = {rho}, θ = {target}: β = {beta}, back = {back}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_none_when_ball_too_small() {
+        // A tiny ball in 9-D cannot hold 40% mass anywhere (paper Eq. 37
+        // regime: no internal hole → α⊥ undefined).
+        assert!(inverse_center_distance(9, 0.5, 0.4).is_none());
+        // But a huge ball can, even well off-center.
+        assert!(inverse_center_distance(9, 10.0, 0.4).is_some());
+    }
+
+    #[test]
+    fn inverse_boundary_exact_center() {
+        let d = 2;
+        let rho = 1.0;
+        let at_center = chi_ball_probability(d, rho);
+        let beta = inverse_center_distance(d, rho, at_center * 0.999_999).unwrap();
+        assert!(beta < 0.01, "target just under center mass → β ≈ 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn inverse_rejects_bad_target() {
+        inverse_center_distance(2, 1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_in_unit_interval(d in 1usize..12, lambda in 0.0..200.0f64, x in 0.0..400.0f64) {
+            let p = noncentral_chi_squared_cdf(d, lambda, x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn prop_monotone_in_x(d in 1usize..10, lambda in 0.0..50.0f64, x in 0.0..50.0f64, dx in 0.01..10.0f64) {
+            let a = noncentral_chi_squared_cdf(d, lambda, x);
+            let b = noncentral_chi_squared_cdf(d, lambda, x + dx);
+            prop_assert!(b >= a - 1e-12);
+        }
+
+        #[test]
+        fn prop_decreasing_in_noncentrality(d in 1usize..10, lambda in 0.0..50.0f64, dl in 0.01..10.0f64, x in 0.1..50.0f64) {
+            // Moving the ball away from the mode can only lose mass.
+            let a = noncentral_chi_squared_cdf(d, lambda, x);
+            let b = noncentral_chi_squared_cdf(d, lambda + dl, x);
+            prop_assert!(b <= a + 1e-10);
+        }
+
+        #[test]
+        fn prop_ball_prob_decreasing_in_beta(d in 1usize..10, beta in 0.0..8.0f64, db in 0.01..4.0f64, rho in 0.1..5.0f64) {
+            let a = ball_probability(d, beta, rho);
+            let b = ball_probability(d, beta + db, rho);
+            prop_assert!(b <= a + 1e-10);
+        }
+    }
+}

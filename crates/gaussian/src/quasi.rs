@@ -1,0 +1,206 @@
+//! Quasi-Monte-Carlo integration: Halton low-discrepancy sequences mapped
+//! through the inverse normal CDF.
+//!
+//! An *extension* of the paper's §V-A integrator menu: where pseudo-random
+//! importance sampling converges as `O(n^{−1/2})`, a low-discrepancy
+//! sequence converges close to `O(n^{−1})` in low dimension for smooth
+//! integrands — the `ablation` bench measures the crossover. Each Halton
+//! coordinate stream (one prime base per dimension) is warped to `N(0, 1)`
+//! by `Φ⁻¹` and then through the query's Cholesky factor, so the indicator
+//! of the query ball is averaged under exactly the same measure as the
+//! paper's estimator.
+
+use crate::mvn::Gaussian;
+use crate::specfun::std_normal_quantile;
+use gprq_linalg::Vector;
+
+/// The first 16 primes — Halton bases for up to 16 dimensions.
+const PRIMES: [u32; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+/// The radical-inverse function in base `b` of integer `i` — the `i`-th
+/// element of the van der Corput sequence.
+pub fn radical_inverse(base: u32, mut i: u64) -> f64 {
+    let b = base as f64;
+    let mut inv_base = 1.0 / b;
+    let mut result = 0.0;
+    while i > 0 {
+        result += (i % base as u64) as f64 * inv_base;
+        i /= base as u64;
+        inv_base /= b;
+    }
+    result
+}
+
+/// A `D`-dimensional Halton sequence iterator (skipping index 0, whose
+/// all-zero point maps to `Φ⁻¹(0) = −∞`).
+#[derive(Debug, Clone)]
+pub struct Halton<const D: usize> {
+    index: u64,
+}
+
+impl<const D: usize> Halton<D> {
+    /// Creates the sequence. Panics if `D` exceeds the 16 supported
+    /// dimensions.
+    pub fn new() -> Self {
+        assert!(
+            D <= PRIMES.len(),
+            "Halton sequence supports up to {} dimensions",
+            PRIMES.len()
+        );
+        Halton { index: 0 }
+    }
+
+    /// Next point in the unit cube `(0, 1)^D`.
+    pub fn next_point(&mut self) -> Vector<D> {
+        self.index += 1;
+        let i = self.index;
+        Vector::from_fn(|d| {
+            // Clamp away from {0, 1} so Φ⁻¹ stays finite.
+            radical_inverse(PRIMES[d], i).clamp(1e-15, 1.0 - 1e-15)
+        })
+    }
+}
+
+impl<const D: usize> Default for Halton<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Estimates `Pr(‖x − center‖ ≤ delta)` for `x ~ gaussian` using `n`
+/// Halton points warped to the Gaussian measure.
+///
+/// Deterministic (no RNG): repeated calls give identical results, and
+/// increasing `n` refines the same point set.
+///
+/// # Panics
+///
+/// Panics if `n_samples == 0`.
+pub fn quasi_monte_carlo_probability<const D: usize>(
+    gaussian: &Gaussian<D>,
+    center: &Vector<D>,
+    delta: f64,
+    n_samples: usize,
+) -> f64 {
+    assert!(n_samples > 0, "need at least one sample");
+    debug_assert!(delta >= 0.0);
+    let delta_sq = delta * delta;
+    let mut halton = Halton::<D>::new();
+    let mut hits = 0usize;
+    for _ in 0..n_samples {
+        let u = halton.next_point();
+        let z = Vector::<D>::from_fn(|d| std_normal_quantile(u[d]));
+        let x = *gaussian.mean() + gaussian.cholesky().apply(&z);
+        if x.distance_squared(center) <= delta_sq {
+            hits += 1;
+        }
+    }
+    hits as f64 / n_samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::quadrature_probability_2d;
+    use gprq_linalg::Matrix;
+
+    #[test]
+    fn radical_inverse_base2() {
+        // 1 → 0.5, 2 → 0.25, 3 → 0.75, 4 → 0.125 …
+        assert_eq!(radical_inverse(2, 0), 0.0);
+        assert_eq!(radical_inverse(2, 1), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(2, 3), 0.75);
+        assert_eq!(radical_inverse(2, 4), 0.125);
+    }
+
+    #[test]
+    fn radical_inverse_base3() {
+        assert!((radical_inverse(3, 1) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(3, 2) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(3, 3) - 1.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn halton_points_are_low_discrepancy() {
+        // Star-discrepancy proxy: counts in dyadic boxes should be close
+        // to their volumes, much closer than √n noise for random points.
+        let mut h = Halton::<2>::new();
+        let n = 4096;
+        let mut count_quadrant = 0;
+        let mut count_strip = 0;
+        for _ in 0..n {
+            let p = h.next_point();
+            if p[0] < 0.5 && p[1] < 0.5 {
+                count_quadrant += 1;
+            }
+            if p[0] < 0.25 {
+                count_strip += 1;
+            }
+        }
+        assert!(
+            (count_quadrant as f64 / n as f64 - 0.25).abs() < 0.005,
+            "quadrant fraction {}",
+            count_quadrant as f64 / n as f64
+        );
+        assert!((count_strip as f64 / n as f64 - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    fn qmc_matches_quadrature_oracle() {
+        let s3 = 3.0f64.sqrt();
+        let g = Gaussian::new(
+            Vector::from([500.0, 500.0]),
+            Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(10.0),
+        )
+        .unwrap();
+        let center = Vector::from([512.0, 494.0]);
+        let delta = 25.0;
+        let oracle = quadrature_probability_2d(&g, &center, delta, 64, 128);
+        let qmc = quasi_monte_carlo_probability(&g, &center, delta, 20_000);
+        assert!((qmc - oracle).abs() < 0.004, "qmc {qmc} vs oracle {oracle}");
+    }
+
+    #[test]
+    fn qmc_is_deterministic_and_refines() {
+        let g = Gaussian::<2>::standard();
+        let center = Vector::from([0.7, 0.2]);
+        let a = quasi_monte_carlo_probability(&g, &center, 1.0, 5_000);
+        let b = quasi_monte_carlo_probability(&g, &center, 1.0, 5_000);
+        assert_eq!(a, b, "QMC must be deterministic");
+        // Finer estimate closer to the oracle than the coarse one
+        // (allowing equality in case both are spot-on).
+        let oracle = quadrature_probability_2d(&g, &center, 1.0, 64, 128);
+        let coarse = quasi_monte_carlo_probability(&g, &center, 1.0, 500);
+        let fine = quasi_monte_carlo_probability(&g, &center, 1.0, 50_000);
+        assert!((fine - oracle).abs() <= (coarse - oracle).abs() + 1e-4);
+    }
+
+    #[test]
+    fn nine_dimensional_qmc_reasonable() {
+        let mut m = Matrix::<9>::identity();
+        for i in 0..9 {
+            m[(i, i)] = 0.5 + 0.1 * i as f64;
+        }
+        let g = Gaussian::new(Vector::<9>::splat(0.0), m).unwrap();
+        let center = Vector::<9>::splat(0.2);
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let reference = crate::integrate::importance_sampling_probability(
+            &g, &center, 2.0, 1_000_000, &mut rng,
+        );
+        let qmc = quasi_monte_carlo_probability(&g, &center, 2.0, 50_000);
+        assert!(
+            (qmc - reference).abs() < 0.01,
+            "qmc {qmc} vs reference {reference}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let g = Gaussian::<2>::standard();
+        quasi_monte_carlo_probability(&g, &Vector::ZERO, 1.0, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Random sampling from Gaussian distributions.
+//!
+//! The paper's experiments use RANDLIB to draw Gaussian variates for the
+//! importance-sampling integrator (§V-A). We substitute a from-scratch
+//! Box–Muller transform (with spare caching) over `rand`'s uniform source,
+//! plus the Cholesky affine map `x = q + L·z` for the general `N(q, Σ)`.
+
+use crate::mvn::Gaussian;
+use gprq_linalg::Vector;
+use rand::Rng;
+
+/// A standard-normal variate generator using the Box–Muller transform.
+///
+/// Each transform produces two independent `N(0, 1)` values; the second is
+/// cached so consecutive calls consume uniforms at the optimal rate.
+///
+/// ```
+/// use gprq_gaussian::StandardNormal;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut sn = StandardNormal::new();
+/// let z = sn.sample(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StandardNormal {
+    spare: Option<f64>,
+}
+
+impl StandardNormal {
+    /// Creates a generator with an empty spare cache.
+    pub fn new() -> Self {
+        StandardNormal { spare: None }
+    }
+
+    /// Draws one `N(0, 1)` variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = std::f64::consts::TAU * u2;
+        self.spare = Some(radius * angle.sin());
+        radius * angle.cos()
+    }
+
+    /// Fills a vector with independent `N(0, 1)` coordinates.
+    pub fn sample_vector<const D: usize, R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vector<D> {
+        Vector::from_fn(|_| self.sample(rng))
+    }
+}
+
+/// Sampler for a general Gaussian `N(q, Σ)` via `x = q + L·z`.
+///
+/// Borrows the [`Gaussian`] so the Cholesky factor is computed once per
+/// query, matching the paper's setting where thousands of integrations
+/// share a single query distribution.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler<'a, const D: usize> {
+    gaussian: &'a Gaussian<D>,
+    standard: StandardNormal,
+}
+
+impl<'a, const D: usize> GaussianSampler<'a, D> {
+    /// Creates a sampler bound to `gaussian`.
+    pub fn new(gaussian: &'a Gaussian<D>) -> Self {
+        GaussianSampler {
+            gaussian,
+            standard: StandardNormal::new(),
+        }
+    }
+
+    /// Draws one sample `x ~ N(q, Σ)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vector<D> {
+        let z = self.standard.sample_vector::<D, R>(rng);
+        *self.gaussian.mean() + self.gaussian.cholesky().apply(&z)
+    }
+
+    /// Fills `out` with samples (one per slot), reusing the spare cache
+    /// across the whole batch.
+    pub fn sample_batch<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [Vector<D>]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+/// Samples a point uniformly from the `D`-ball of radius `radius` centered
+/// at `center`.
+///
+/// Uses the standard construction: an isotropic Gaussian direction scaled
+/// to the sphere, then a radius drawn as `r = radius · u^{1/D}`. This is
+/// the sampling primitive of the *uniform-ball* Monte-Carlo comparator
+/// (the "standard Monte Carlo method" the paper contrasts with importance
+/// sampling in §V-A).
+pub fn sample_uniform_ball<const D: usize, R: Rng + ?Sized>(
+    standard: &mut StandardNormal,
+    rng: &mut R,
+    center: &Vector<D>,
+    radius: f64,
+) -> Vector<D> {
+    debug_assert!(radius >= 0.0);
+    // Direction: normalized Gaussian vector (retry the astronomically
+    // unlikely zero vector).
+    let mut dir;
+    loop {
+        dir = standard.sample_vector::<D, R>(rng);
+        if let Some(unit) = dir.normalized() {
+            dir = unit;
+            break;
+        }
+    }
+    let u: f64 = rng.gen::<f64>();
+    let r = radius * u.powf(1.0 / D as f64);
+    *center + dir * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gprq_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sigma_paper() -> Matrix<2> {
+        let s3 = 3.0f64.sqrt();
+        Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(10.0)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sn = StandardNormal::new();
+        let n = 200_000;
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = sn.sample(&mut rng);
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sn = StandardNormal::new();
+        let n = 100_000;
+        let within_one =
+            (0..n).filter(|_| sn.sample(&mut rng).abs() <= 1.0).count() as f64 / n as f64;
+        // P(|Z| ≤ 1) = 0.6827.
+        assert!((within_one - 0.6827).abs() < 0.01, "got {within_one}");
+    }
+
+    #[test]
+    fn gaussian_sampler_matches_moments() {
+        let g = Gaussian::new(Vector::from([500.0, 300.0]), sigma_paper()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sampler = GaussianSampler::new(&g);
+        let n = 200_000;
+        let mut mean = Vector::<2>::ZERO;
+        let mut m2 = Matrix::<2>::ZERO;
+        for _ in 0..n {
+            let x = sampler.sample(&mut rng) - *g.mean();
+            mean += x;
+            for i in 0..2 {
+                for j in 0..2 {
+                    m2[(i, j)] += x[i] * x[j];
+                }
+            }
+        }
+        let inv_n = 1.0 / n as f64;
+        mean = mean * inv_n;
+        assert!(mean.norm() < 0.1, "sample mean offset {mean}");
+        for i in 0..2 {
+            for j in 0..2 {
+                let cov = m2[(i, j)] * inv_n;
+                let expect = sigma_paper()[(i, j)];
+                assert!(
+                    (cov - expect).abs() < 0.03 * expect.abs().max(10.0),
+                    "cov[{i}][{j}] = {cov}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_batch_fills_all() {
+        let g = Gaussian::<2>::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sampler = GaussianSampler::new(&g);
+        let mut buf = vec![Vector::<2>::ZERO; 64];
+        sampler.sample_batch(&mut rng, &mut buf);
+        // All finite and (with overwhelming probability) distinct from zero.
+        assert!(buf.iter().all(|v| v.is_finite()));
+        assert!(buf.iter().any(|v| v.norm() > 1e-9));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = Gaussian::<2>::standard();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = GaussianSampler::new(&g);
+            s.sample(&mut rng)
+        };
+        assert_eq!(run(9).as_slice(), run(9).as_slice());
+        assert_ne!(run(9).as_slice(), run(10).as_slice());
+    }
+
+    #[test]
+    fn uniform_ball_stays_inside_and_fills() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sn = StandardNormal::new();
+        let center = Vector::from([10.0, -5.0, 2.0]);
+        let radius = 4.0;
+        let n = 50_000;
+        let mut inside_half = 0usize;
+        for _ in 0..n {
+            let x = sample_uniform_ball(&mut sn, &mut rng, &center, radius);
+            let dist = x.distance(&center);
+            assert!(dist <= radius + 1e-12);
+            if dist <= radius / 2.0 {
+                inside_half += 1;
+            }
+        }
+        // Volume ratio of half-radius ball in 3-D is 1/8.
+        let frac = inside_half as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn uniform_ball_radius_zero_returns_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sn = StandardNormal::new();
+        let center = Vector::from([1.0, 2.0]);
+        let x = sample_uniform_ball(&mut sn, &mut rng, &center, 0.0);
+        assert_eq!(x.as_slice(), center.as_slice());
+    }
+}

@@ -1,0 +1,312 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Covariance matrices in the paper are SPD by construction; the Cholesky
+//! factor `L` (with `Σ = L·Lᵗ`) is the workhorse for
+//!
+//! * **sampling** `x ~ N(q, Σ)` as `x = q + L·z` with `z ~ N(0, I)`
+//!   (the importance-sampling integrator of §V-A),
+//! * **determinants** `|Σ| = Π lᵢᵢ²` needed by the Gaussian density (Eq. 1)
+//!   and by the BF strategy's catalog keys `(λ)^{d/2}|Σ|^{1/2}θ` (Eqs. 29–30),
+//! * **inverses / solves** for the Mahalanobis quadratic form.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// The lower-triangular Cholesky factor `L` of an SPD matrix `M = L·Lᵗ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cholesky<const D: usize> {
+    lower: Matrix<D>,
+}
+
+impl<const D: usize> Cholesky<D> {
+    /// Factorizes `m = L·Lᵗ`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NonFinite`] if `m` contains NaN/Inf,
+    /// * [`LinalgError::NotSymmetric`] if `m` is measurably asymmetric,
+    /// * [`LinalgError::NotPositiveDefinite`] if any pivot is `≤ 0`
+    ///   (within a scale-relative tolerance), i.e. `m` is not SPD.
+    pub fn new(m: &Matrix<D>) -> Result<Self> {
+        m.check_symmetric(1e-9)?;
+        let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+        let mut l = Matrix::<D>::ZERO;
+        for j in 0..D {
+            // Diagonal entry.
+            let mut diag = m[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            // Negated form on purpose: a NaN pivot (from NaN input that
+            // slipped past the finiteness check via arithmetic) must take
+            // the error branch.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(diag > scale * 1e-14) {
+                return Err(LinalgError::NotPositiveDefinite {
+                    pivot: j,
+                    value: diag,
+                });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            // Below-diagonal column.
+            let inv = 1.0 / ljj;
+            for i in (j + 1)..D {
+                let mut v = m[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v * inv;
+            }
+        }
+        Ok(Cholesky { lower: l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix<D> {
+        &self.lower
+    }
+
+    /// Determinant of the original matrix: `Π lᵢᵢ²`.
+    pub fn determinant(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..D {
+            let l = self.lower[(i, i)];
+            det *= l * l;
+        }
+        det
+    }
+
+    /// Natural log of the determinant, stable for very small/large `|Σ|`.
+    ///
+    /// Medium-dimensional covariance matrices (the paper's 9-D experiment)
+    /// routinely have determinants near the underflow boundary; BF's catalog
+    /// keys (Eqs. 36–37) are computed in log space from this.
+    pub fn log_determinant(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += self.lower[(i, i)].ln();
+        }
+        2.0 * acc
+    }
+
+    /// Solves `L·y = b` by forward substitution.
+    pub fn solve_lower(&self, b: &Vector<D>) -> Vector<D> {
+        let mut y = Vector::<D>::ZERO;
+        for i in 0..D {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.lower[(i, k)] * y[k];
+            }
+            y[i] = v / self.lower[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵗ·x = y` by backward substitution.
+    pub fn solve_upper(&self, y: &Vector<D>) -> Vector<D> {
+        let mut x = Vector::<D>::ZERO;
+        for i in (0..D).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..D {
+                v -= self.lower[(k, i)] * x[k];
+            }
+            x[i] = v / self.lower[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `M·x = b` for the original matrix `M = L·Lᵗ`.
+    pub fn solve(&self, b: &Vector<D>) -> Vector<D> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Inverse of the original matrix, `M⁻¹`, returned as a (symmetric)
+    /// dense matrix. Computed column-by-column via [`Cholesky::solve`].
+    pub fn inverse(&self) -> Matrix<D> {
+        let mut inv = Matrix::<D>::ZERO;
+        for j in 0..D {
+            let mut e = Vector::<D>::ZERO;
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..D {
+                inv[(i, j)] = col[i];
+            }
+        }
+        // Symmetrize to remove round-off drift: the inverse of an SPD
+        // matrix is SPD, so averaging the off-diagonal pairs only removes
+        // noise and keeps downstream symmetry checks happy.
+        for i in 0..D {
+            for j in (i + 1)..D {
+                let avg = 0.5 * (inv[(i, j)] + inv[(j, i)]);
+                inv[(i, j)] = avg;
+                inv[(j, i)] = avg;
+            }
+        }
+        inv
+    }
+
+    /// The Mahalanobis quadratic form `vᵗ M⁻¹ v` without materializing `M⁻¹`:
+    /// `‖L⁻¹ v‖²` via one forward substitution.
+    pub fn mahalanobis_squared(&self, v: &Vector<D>) -> f64 {
+        self.solve_lower(v).norm_squared()
+    }
+
+    /// Applies the factor to a vector: `L·z`. This is the affine step of
+    /// Gaussian sampling (`x = q + L·z`).
+    pub fn apply(&self, z: &Vector<D>) -> Vector<D> {
+        let mut out = Vector::<D>::ZERO;
+        for i in 0..D {
+            let mut acc = 0.0;
+            for k in 0..=i {
+                acc += self.lower[(i, k)] * z[k];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sigma_paper(gamma: f64) -> Matrix<2> {
+        let s3 = 3.0f64.sqrt();
+        Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma)
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let m = sigma_paper(10.0);
+        let ch = m.cholesky().unwrap();
+        let l = ch.lower();
+        let rec = l.mul_mat(&l.transpose());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let m = Matrix::from_rows([[1.0, 2.0], [2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(matches!(
+            Cholesky::new(&m),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonfinite() {
+        let m = Matrix::from_rows([[1.0, 0.5], [0.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::new(&m),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+        let m = Matrix::from_rows([[f64::NAN, 0.0], [0.0, 1.0]]);
+        assert!(matches!(Cholesky::new(&m), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn determinant_matches_lu() {
+        let m = sigma_paper(10.0);
+        let ch = m.cholesky().unwrap();
+        assert!((ch.determinant() - m.determinant()).abs() < 1e-6);
+        assert!((ch.log_determinant() - m.determinant().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_inverse() {
+        let m = sigma_paper(1.0);
+        let ch = m.cholesky().unwrap();
+        let b = Vector::from([1.0, -2.0]);
+        let x = ch.solve(&b);
+        // M·x should equal b.
+        let back = m.mul_vec(&x);
+        assert!((back[0] - b[0]).abs() < 1e-9);
+        assert!((back[1] - b[1]).abs() < 1e-9);
+        // Inverse times b should equal x.
+        let xi = ch.inverse().mul_vec(&b);
+        assert!((xi[0] - x[0]).abs() < 1e-9);
+        assert!((xi[1] - x[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_is_symmetric() {
+        let m = sigma_paper(100.0);
+        let inv = m.cholesky().unwrap().inverse();
+        assert_eq!(inv[(0, 1)], inv[(1, 0)]);
+        // inv · m = I
+        let prod = inv.mul_mat(&m);
+        assert!((prod[(0, 0)] - 1.0).abs() < 1e-9);
+        assert!(prod[(0, 1)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn mahalanobis_matches_explicit() {
+        let m = sigma_paper(10.0);
+        let ch = m.cholesky().unwrap();
+        let v = Vector::from([3.0, -1.0]);
+        let explicit = ch.inverse().quadratic_form(&v);
+        assert!((ch.mahalanobis_squared(&v) - explicit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_is_lower_mul() {
+        let m = sigma_paper(1.0);
+        let ch = m.cholesky().unwrap();
+        let z = Vector::from([0.5, -0.25]);
+        let a = ch.apply(&z);
+        let b = ch.lower().mul_vec(&z);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        assert!((a[1] - b[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_cholesky_is_identity() {
+        let ch = Matrix::<4>::identity().cholesky().unwrap();
+        assert_eq!(*ch.lower(), Matrix::<4>::identity());
+        assert_eq!(ch.determinant(), 1.0);
+    }
+
+    /// Builds a random SPD matrix A·Aᵗ + εI from proptest-driven entries.
+    fn spd3(entries: [[f64; 3]; 3]) -> Matrix<3> {
+        let a = Matrix(entries);
+        let mut m = a.mul_mat(&a.transpose());
+        for i in 0..3 {
+            m[(i, i)] += 1.0;
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spd_factorizes_and_roundtrips(
+            entries in proptest::array::uniform3(proptest::array::uniform3(-5.0..5.0f64)),
+            b in proptest::array::uniform3(-10.0..10.0f64),
+        ) {
+            let m = spd3(entries);
+            let ch = Cholesky::new(&m).expect("SPD by construction");
+            let x = ch.solve(&Vector(b));
+            let back = m.mul_vec(&x);
+            for i in 0..3 {
+                prop_assert!((back[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()));
+            }
+            prop_assert!(ch.determinant() > 0.0);
+        }
+
+        #[test]
+        fn prop_mahalanobis_nonnegative(
+            entries in proptest::array::uniform3(proptest::array::uniform3(-5.0..5.0f64)),
+            v in proptest::array::uniform3(-10.0..10.0f64),
+        ) {
+            let ch = Cholesky::new(&spd3(entries)).unwrap();
+            prop_assert!(ch.mahalanobis_squared(&Vector(v)) >= 0.0);
+        }
+    }
+}

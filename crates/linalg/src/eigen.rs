@@ -1,0 +1,378 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! The paper's filtering strategies are built on the spectral decomposition
+//! of the covariance (Eqs. 8–12):
+//!
+//! * **OR** rotates candidate points into the eigenbasis `E` of `Σ⁻¹`
+//!   (Property 3) and filters with a per-axis interval (Eq. 20);
+//! * **BF** needs the extreme eigenvalues `λ∥ = min λᵢ(Σ⁻¹)` and
+//!   `λ⊥ = max λᵢ(Σ⁻¹)` (Eqs. 9–10) to build the spherical bounding
+//!   functions of Definition 6.
+//!
+//! Dimensions here are tiny (`d ≤ ~16`), so the classic cyclic Jacobi
+//! method is the right tool: unconditionally stable for symmetric input,
+//! quadratically convergent, and it produces an orthonormal eigenvector
+//! matrix for free.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Maximum number of full Jacobi sweeps before declaring non-convergence.
+/// For symmetric matrices of the sizes used here, convergence takes ≤ ~8
+/// sweeps; 64 leaves enormous headroom while still bounding the loop.
+const MAX_SWEEPS: usize = 64;
+
+/// Result of a symmetric eigendecomposition `M = E · diag(λ) · Eᵗ`.
+///
+/// Eigenvalues are sorted in **descending** order; `eigenvectors.0[..][k]`
+/// (the k-th *column*) is the unit eigenvector for `eigenvalues[k]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymmetricEigen<const D: usize> {
+    /// Eigenvalues, descending.
+    pub eigenvalues: Vector<D>,
+    /// Orthonormal matrix whose columns are the matching eigenvectors
+    /// (this is the matrix `E = [v₁ v₂ ⋯ v_d]` of paper Eq. 12).
+    pub eigenvectors: Matrix<D>,
+}
+
+impl<const D: usize> SymmetricEigen<D> {
+    /// Decomposes a symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NonFinite`] / [`LinalgError::NotSymmetric`] for bad
+    ///   input,
+    /// * [`LinalgError::EigenNoConvergence`] if the sweep limit is exceeded
+    ///   (which cannot happen for finite symmetric input in practice).
+    pub fn new(m: &Matrix<D>) -> Result<Self> {
+        m.check_symmetric(1e-9)?;
+        let mut a = *m;
+        let mut e = Matrix::<D>::identity();
+        let scale = m.frobenius_norm().max(f64::MIN_POSITIVE);
+        let tol = scale * 1e-14;
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&a);
+            if off <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..D {
+                for q in (p + 1)..D {
+                    jacobi_rotate(&mut a, &mut e, p, q);
+                }
+            }
+        }
+        if !converged && off_diagonal_norm(&a) > tol {
+            return Err(LinalgError::EigenNoConvergence {
+                off_diagonal: off_diagonal_norm(&a),
+            });
+        }
+
+        // Extract and sort eigenpairs (descending by eigenvalue).
+        let mut order: [usize; D] = [0; D];
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
+        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite"));
+
+        let eigenvalues = Vector::from_fn(|k| a[(order[k], order[k])]);
+        let eigenvectors = Matrix::from_fn(|i, k| e[(i, order[k])]);
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.eigenvalues[D - 1]
+    }
+
+    /// Largest eigenvalue.
+    pub fn max_eigenvalue(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Condition number `λ_max / λ_min` (for SPD input).
+    pub fn condition_number(&self) -> f64 {
+        self.max_eigenvalue() / self.min_eigenvalue()
+    }
+
+    /// The k-th eigenvector (unit length), as a vector.
+    pub fn eigenvector(&self, k: usize) -> Vector<D> {
+        Vector::from_fn(|i| self.eigenvectors[(i, k)])
+    }
+
+    /// Reconstructs the original matrix `E · diag(λ) · Eᵗ` (for testing and
+    /// for deriving `Σ⁻¹`'s spectral form from `Σ`'s).
+    pub fn reconstruct(&self) -> Matrix<D> {
+        Matrix::from_fn(|i, j| {
+            let mut acc = 0.0;
+            for k in 0..D {
+                acc += self.eigenvectors[(i, k)] * self.eigenvalues[k] * self.eigenvectors[(j, k)];
+            }
+            acc
+        })
+    }
+
+    /// Rotates a point into the eigenbasis: returns `y = Eᵗ·x`.
+    ///
+    /// This is the axis transformation of paper Property 3 (`x = E·y`):
+    /// after the rotation, the ellipsoid `xᵗΣ⁻¹x = r²` becomes the
+    /// axis-aligned ellipsoid `Σᵢ λᵢ yᵢ² = r²`.
+    pub fn to_eigenbasis(&self, x: &Vector<D>) -> Vector<D> {
+        self.eigenvectors.transpose_mul_vec(x)
+    }
+
+    /// Rotates a point back from the eigenbasis: returns `x = E·y`.
+    pub fn from_eigenbasis(&self, y: &Vector<D>) -> Vector<D> {
+        self.eigenvectors.mul_vec(y)
+    }
+}
+
+/// Frobenius norm of the strictly-off-diagonal part.
+fn off_diagonal_norm<const D: usize>(a: &Matrix<D>) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..D {
+        for j in (i + 1)..D {
+            acc += 2.0 * a[(i, j)] * a[(i, j)];
+        }
+    }
+    acc.sqrt()
+}
+
+/// One Jacobi rotation zeroing `a[(p, q)]`, accumulating into `e`.
+fn jacobi_rotate<const D: usize>(a: &mut Matrix<D>, e: &mut Matrix<D>, p: usize, q: usize) {
+    let apq = a[(p, q)];
+    if apq == 0.0 {
+        return;
+    }
+    let app = a[(p, p)];
+    let aqq = a[(q, q)];
+    let tau = (aqq - app) / (2.0 * apq);
+    // Choose the smaller-magnitude root for stability.
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    // Update A = Jᵗ·A·J in place.
+    for k in 0..D {
+        let akp = a[(k, p)];
+        let akq = a[(k, q)];
+        a[(k, p)] = c * akp - s * akq;
+        a[(k, q)] = s * akp + c * akq;
+    }
+    for k in 0..D {
+        let apk = a[(p, k)];
+        let aqk = a[(q, k)];
+        a[(p, k)] = c * apk - s * aqk;
+        a[(q, k)] = s * apk + c * aqk;
+    }
+    // Exact zeros on the annihilated pair keep round-off from re-seeding it.
+    a[(p, q)] = 0.0;
+    a[(q, p)] = 0.0;
+
+    // Accumulate eigenvectors E = E·J.
+    for k in 0..D {
+        let ekp = e[(k, p)];
+        let ekq = e[(k, q)];
+        e[(k, p)] = c * ekp - s * ekq;
+        e[(k, q)] = s * ekp + c * ekq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sigma_paper(gamma: f64) -> Matrix<2> {
+        let s3 = 3.0f64.sqrt();
+        Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let m = Matrix::from_diagonal(&Vector::from([3.0, 1.0, 2.0]));
+        let e = m.symmetric_eigen().unwrap();
+        assert_eq!(e.eigenvalues.as_slice(), &[3.0, 2.0, 1.0]);
+        assert_eq!(e.min_eigenvalue(), 1.0);
+        assert_eq!(e.max_eigenvalue(), 3.0);
+        assert_eq!(e.condition_number(), 3.0);
+    }
+
+    #[test]
+    fn paper_sigma_eigenvalues() {
+        // Σ(γ=1) has trace 10 and det 9 → eigenvalues are 9 and 1.
+        // (λ² − 10λ + 9 = 0 → λ ∈ {9, 1}.) This is the 3:1-axis-ratio
+        // ellipse tilted 30° described under Eq. (34): axis lengths scale
+        // with √λ, so √9 : √1 = 3 : 1.
+        let e = sigma_paper(1.0).symmetric_eigen().unwrap();
+        assert!((e.eigenvalues[0] - 9.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-9);
+        // Principal eigenvector should point 30° from the x-axis.
+        let v = e.eigenvector(0);
+        let angle = v[1].atan2(v[0]).abs();
+        let thirty = std::f64::consts::PI / 6.0;
+        assert!(
+            (angle - thirty).abs() < 1e-9 || (angle - (std::f64::consts::PI - thirty)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn reconstruction_roundtrips() {
+        let m = sigma_paper(10.0);
+        let rec = m.symmetric_eigen().unwrap().reconstruct();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let e = sigma_paper(10.0).symmetric_eigen().unwrap();
+        let ete = e.eigenvectors.transpose().mul_mat(&e.eigenvectors);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((ete[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_equation_holds() {
+        let m = sigma_paper(1.0);
+        let e = m.symmetric_eigen().unwrap();
+        for k in 0..2 {
+            let v = e.eigenvector(k);
+            let mv = m.mul_vec(&v);
+            let lv = v * e.eigenvalues[k];
+            assert!((mv[0] - lv[0]).abs() < 1e-9);
+            assert!((mv[1] - lv[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn basis_rotation_roundtrip() {
+        let e = sigma_paper(1.0).symmetric_eigen().unwrap();
+        let x = Vector::from([2.0, -3.0]);
+        let y = e.to_eigenbasis(&x);
+        let back = e.from_eigenbasis(&y);
+        assert!((back[0] - x[0]).abs() < 1e-12);
+        assert!((back[1] - x[1]).abs() < 1e-12);
+        // Rotation preserves norms.
+        assert!((y.norm() - x.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_form_diagonalizes() {
+        // In the eigenbasis, xᵗΣ⁻¹x = Σᵢ yᵢ²/λᵢ(Σ).
+        let m = sigma_paper(10.0);
+        let e = m.symmetric_eigen().unwrap();
+        let inv = m.cholesky().unwrap().inverse();
+        let x = Vector::from([5.0, 2.0]);
+        let y = e.to_eigenbasis(&x);
+        let diag_form: f64 = (0..2).map(|i| y[i] * y[i] / e.eigenvalues[i]).sum();
+        assert!((inv.quadratic_form(&x) - diag_form).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let m = Matrix::from_rows([[1.0, 1.0], [0.0, 1.0]]);
+        assert!(matches!(
+            SymmetricEigen::new(&m),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let e = Matrix::<5>::identity().symmetric_eigen().unwrap();
+        for i in 0..5 {
+            assert!((e.eigenvalues[i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        // 2·I in a rotated basis is still 2·I.
+        let m = Matrix::<3>::identity().scale(2.0);
+        let e = m.symmetric_eigen().unwrap();
+        for i in 0..3 {
+            assert!((e.eigenvalues[i] - 2.0).abs() < 1e-12);
+        }
+        let rec = e.reconstruct();
+        assert!((rec[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_supported() {
+        // Symmetric eigendecomposition works for indefinite input too.
+        let m = Matrix::from_rows([[1.0, 2.0], [2.0, 1.0]]);
+        let e = m.symmetric_eigen().unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] + 1.0).abs() < 1e-9);
+    }
+
+    fn spd4(entries: [[f64; 4]; 4]) -> Matrix<4> {
+        let a = Matrix(entries);
+        let mut m = a.mul_mat(&a.transpose());
+        for i in 0..4 {
+            m[(i, i)] += 0.5;
+        }
+        m
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigen_reconstructs_4d(
+            entries in proptest::array::uniform4(proptest::array::uniform4(-3.0..3.0f64)),
+        ) {
+            let m = spd4(entries);
+            let e = m.symmetric_eigen().unwrap();
+            let rec = e.reconstruct();
+            let scale = m.frobenius_norm().max(1.0);
+            for i in 0..4 {
+                for j in 0..4 {
+                    prop_assert!((rec[(i, j)] - m[(i, j)]).abs() < 1e-8 * scale);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_trace_and_det_invariants(
+            entries in proptest::array::uniform4(proptest::array::uniform4(-3.0..3.0f64)),
+        ) {
+            let m = spd4(entries);
+            let e = m.symmetric_eigen().unwrap();
+            let eig_trace: f64 = e.eigenvalues.as_slice().iter().sum();
+            let eig_det: f64 = e.eigenvalues.as_slice().iter().product();
+            prop_assert!((eig_trace - m.trace()).abs() < 1e-7 * m.trace().abs().max(1.0));
+            let det = m.determinant();
+            prop_assert!((eig_det - det).abs() < 1e-6 * det.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_spd_eigenvalues_positive(
+            entries in proptest::array::uniform4(proptest::array::uniform4(-3.0..3.0f64)),
+        ) {
+            let e = spd4(entries).symmetric_eigen().unwrap();
+            prop_assert!(e.min_eigenvalue() > 0.0);
+            // Sorted descending.
+            for i in 1..4 {
+                prop_assert!(e.eigenvalues[i - 1] >= e.eigenvalues[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by the fallible operations in this crate.
+///
+/// All variants carry enough context to diagnose which numerical
+/// precondition was violated; they are deliberately small (no allocation)
+/// because they can be constructed on hot paths when validating user input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinalgError {
+    /// A matrix expected to be symmetric positive-definite failed the
+    /// Cholesky factorization at the given pivot index.
+    ///
+    /// This is the canonical way covariance-matrix validation surfaces:
+    /// a covariance matrix with a non-positive eigenvalue is rejected here.
+    NotPositiveDefinite {
+        /// Index of the pivot where factorization broke down.
+        pivot: usize,
+        /// The offending (non-positive or non-finite) pivot value.
+        value: f64,
+    },
+    /// A matrix expected to be symmetric was not (within tolerance).
+    NotSymmetric {
+        /// Row of the entry with the largest asymmetry.
+        row: usize,
+        /// Column of the entry with the largest asymmetry.
+        col: usize,
+        /// Magnitude of the asymmetry `|a[i][j] - a[j][i]|`.
+        asymmetry: f64,
+    },
+    /// The Jacobi eigenvalue iteration failed to converge within the sweep
+    /// limit. For well-formed symmetric input this should never happen; it
+    /// indicates NaN/Inf contamination.
+    EigenNoConvergence {
+        /// Remaining off-diagonal Frobenius norm when iteration stopped.
+        off_diagonal: f64,
+    },
+    /// An input contained NaN or infinity.
+    NonFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive-definite: pivot {pivot} has value {value:e}"
+            ),
+            LinalgError::NotSymmetric {
+                row,
+                col,
+                asymmetry,
+            } => write!(
+                f,
+                "matrix is not symmetric: |a[{row}][{col}] - a[{col}][{row}]| = {asymmetry:e}"
+            ),
+            LinalgError::EigenNoConvergence { off_diagonal } => write!(
+                f,
+                "Jacobi eigendecomposition did not converge (off-diagonal norm {off_diagonal:e})"
+            ),
+            LinalgError::NonFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("positive-definite"));
+        assert!(s.contains("pivot 1"));
+    }
+
+    #[test]
+    fn display_not_symmetric() {
+        let e = LinalgError::NotSymmetric {
+            row: 0,
+            col: 1,
+            asymmetry: 0.25,
+        };
+        let s = e.to_string();
+        assert!(s.contains("symmetric"));
+    }
+
+    #[test]
+    fn display_no_convergence_and_non_finite() {
+        assert!(LinalgError::EigenNoConvergence { off_diagonal: 1.0 }
+            .to_string()
+            .contains("converge"));
+        assert!(LinalgError::NonFinite.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::NonFinite);
+        assert!(!e.to_string().is_empty());
+    }
+}

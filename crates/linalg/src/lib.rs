@@ -1,0 +1,49 @@
+//! # gprq-linalg
+//!
+//! Small, dependency-free dense linear algebra used by the `gaussian-prq`
+//! workspace (a reproduction of *"Spatial Range Querying for Gaussian-Based
+//! Imprecise Query Objects"*, ICDE 2009).
+//!
+//! The query-processing strategies of the paper require a handful of
+//! operations on small (`d ≤ ~16`) symmetric positive-definite covariance
+//! matrices:
+//!
+//! * eigendecomposition (spectral decomposition of `Σ⁻¹`, paper Eq. 8–12),
+//!   provided by the cyclic [Jacobi rotation method](eigen::SymmetricEigen);
+//! * Cholesky factorization for sampling from `N(q, Σ)` and for numerically
+//!   stable determinants / inverses ([`cholesky::Cholesky`]);
+//! * quadratic forms `(x − q)ᵗ Σ⁻¹ (x − q)` (Mahalanobis distances),
+//!   dot products, norms, and the usual vector arithmetic.
+//!
+//! Dimension is a **compile-time constant** (`const D: usize`), matching the
+//! paper's fixed-dimension experiments (d = 2 and d = 9) and keeping every
+//! hot-path operation allocation-free: the types are plain stack arrays.
+//!
+//! ```
+//! use gprq_linalg::{Matrix, Vector};
+//!
+//! let sigma = Matrix::<2>::from_rows([[7.0, 3.4641], [3.4641, 3.0]]);
+//! let eig = sigma.symmetric_eigen().unwrap();
+//! assert!(eig.eigenvalues[0] >= eig.eigenvalues[1]); // sorted descending
+//! let x = Vector::from([1.0, 2.0]);
+//! let q = sigma.cholesky().unwrap().inverse().quadratic_form(&x);
+//! assert!(q > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymmetricEigen;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+/// Convenience alias: result type for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,453 @@
+//! Fixed-dimension square matrices backed by stack arrays.
+
+use crate::cholesky::Cholesky;
+use crate::eigen::SymmetricEigen;
+use crate::error::LinalgError;
+use crate::vector::Vector;
+use crate::Result;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense `D × D` matrix of `f64`, stored row-major inline.
+///
+/// The workspace only ever needs square matrices of the query dimension
+/// (covariance matrices `Σ`, their inverses, and orthonormal eigenvector
+/// matrices `E`), so the type is deliberately square-only.
+///
+/// ```
+/// use gprq_linalg::{Matrix, Vector};
+/// let m = Matrix::<2>::from_rows([[2.0, 0.0], [0.0, 3.0]]);
+/// let v = Vector::from([1.0, 1.0]);
+/// assert_eq!(m.mul_vec(&v).as_slice(), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix<const D: usize>(pub [[f64; D]; D]);
+
+impl<const D: usize> Matrix<D> {
+    /// The zero matrix.
+    pub const ZERO: Self = Matrix([[0.0; D]; D]);
+
+    /// The identity matrix `I`.
+    pub fn identity() -> Self {
+        let mut m = Self::ZERO;
+        for i in 0..D {
+            m.0[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row arrays.
+    pub fn from_rows(rows: [[f64; D]; D]) -> Self {
+        Matrix(rows)
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::ZERO;
+        for i in 0..D {
+            for j in 0..D {
+                m.0[i][j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &Vector<D>) -> Self {
+        Self::from_fn(|i, j| if i == j { diag[i] } else { 0.0 })
+    }
+
+    /// Returns the diagonal as a vector.
+    pub fn diagonal(&self) -> Vector<D> {
+        Vector::from_fn(|i| self.0[i][i])
+    }
+
+    /// Returns the dimensionality `D`.
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(|i, j| self.0[j][i])
+    }
+
+    /// Matrix–vector product `M·v`.
+    pub fn mul_vec(&self, v: &Vector<D>) -> Vector<D> {
+        Vector::from_fn(|i| {
+            let mut acc = 0.0;
+            for j in 0..D {
+                acc += self.0[i][j] * v[j];
+            }
+            acc
+        })
+    }
+
+    /// Transposed matrix–vector product `Mᵗ·v` (no transpose materialized).
+    pub fn transpose_mul_vec(&self, v: &Vector<D>) -> Vector<D> {
+        Vector::from_fn(|j| {
+            let mut acc = 0.0;
+            for i in 0..D {
+                acc += self.0[i][j] * v[i];
+            }
+            acc
+        })
+    }
+
+    /// Matrix–matrix product `self · rhs`.
+    pub fn mul_mat(&self, rhs: &Self) -> Self {
+        Self::from_fn(|i, j| {
+            let mut acc = 0.0;
+            for k in 0..D {
+                acc += self.0[i][k] * rhs.0[k][j];
+            }
+            acc
+        })
+    }
+
+    /// Quadratic form `vᵗ · M · v`.
+    ///
+    /// This is the Mahalanobis-distance kernel of the paper
+    /// (`(x − q)ᵗ Σ⁻¹ (x − q)`, Eq. 1) and is kept branch-free for the
+    /// integration hot loop.
+    pub fn quadratic_form(&self, v: &Vector<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let mut row = 0.0;
+            for j in 0..D {
+                row += self.0[i][j] * v[j];
+            }
+            acc += v[i] * row;
+        }
+        acc
+    }
+
+    /// Trace `Σᵢ mᵢᵢ`.
+    pub fn trace(&self) -> f64 {
+        (0..D).map(|i| self.0[i][i]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.0
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().flat_map(|r| r.iter()).all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute asymmetry `max |a[i][j] − a[j][i]|`.
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..D {
+            for j in (i + 1)..D {
+                worst = worst.max((self.0[i][j] - self.0[j][i]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Validates that the matrix is symmetric within `tol` (relative to its
+    /// Frobenius norm) and finite.
+    pub fn check_symmetric(&self, tol: f64) -> Result<()> {
+        if !self.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let scale = self.frobenius_norm().max(1.0);
+        for i in 0..D {
+            for j in (i + 1)..D {
+                let asym = (self.0[i][j] - self.0[j][i]).abs();
+                if asym > tol * scale {
+                    return Err(LinalgError::NotSymmetric {
+                        row: i,
+                        col: j,
+                        asymmetry: asym,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cholesky factorization `M = L·Lᵗ` (requires symmetric positive-definite).
+    pub fn cholesky(&self) -> Result<Cholesky<D>> {
+        Cholesky::new(self)
+    }
+
+    /// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+    ///
+    /// Eigenvalues are returned sorted in **descending** order with matching
+    /// orthonormal eigenvectors (columns of [`SymmetricEigen::eigenvectors`]).
+    pub fn symmetric_eigen(&self) -> Result<SymmetricEigen<D>> {
+        SymmetricEigen::new(self)
+    }
+
+    /// Determinant, computed via LU decomposition with partial pivoting.
+    ///
+    /// Works for any square matrix; for SPD matrices prefer
+    /// [`Cholesky::determinant`] which is faster and more stable.
+    pub fn determinant(&self) -> f64 {
+        // LU with partial pivoting on a local copy.
+        let mut a = self.0;
+        let mut det = 1.0;
+        for col in 0..D {
+            // Pivot selection.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col][col].abs();
+            for (row, a_row) in a.iter().enumerate().skip(col + 1) {
+                if a_row[col].abs() > pivot_val {
+                    pivot_val = a_row[col].abs();
+                    pivot_row = row;
+                }
+            }
+            if pivot_val == 0.0 {
+                return 0.0;
+            }
+            if pivot_row != col {
+                a.swap(pivot_row, col);
+                det = -det;
+            }
+            det *= a[col][col];
+            let inv_pivot = 1.0 / a[col][col];
+            for row in (col + 1)..D {
+                let factor = a[row][col] * inv_pivot;
+                // Index loop on purpose: `a[row]` and `a[col]` alias the
+                // same array, so an iterator over one row cannot borrow
+                // the other.
+                #[allow(clippy::needless_range_loop)]
+                for k in (col + 1)..D {
+                    a[row][k] -= factor * a[col][k];
+                }
+            }
+        }
+        det
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Self {
+        Self::from_fn(|i, j| self.0[i][j] * s)
+    }
+
+    /// Outer product `u · vᵗ`.
+    pub fn outer(u: &Vector<D>, v: &Vector<D>) -> Self {
+        Self::from_fn(|i, j| u[i] * v[j])
+    }
+}
+
+impl<const D: usize> Default for Matrix<D> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const D: usize> Index<(usize, usize)> for Matrix<D> {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.0[i][j]
+    }
+}
+
+impl<const D: usize> IndexMut<(usize, usize)> for Matrix<D> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.0[i][j]
+    }
+}
+
+impl<const D: usize> Add for Matrix<D> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|i, j| self.0[i][j] + rhs.0[i][j])
+    }
+}
+
+impl<const D: usize> Sub for Matrix<D> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fn(|i, j| self.0[i][j] - rhs.0[i][j])
+    }
+}
+
+impl<const D: usize> Mul<f64> for Matrix<D> {
+    type Output = Self;
+    fn mul(self, s: f64) -> Self {
+        self.scale(s)
+    }
+}
+
+impl<const D: usize> fmt::Display for Matrix<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "[")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.6}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sigma_paper() -> Matrix<2> {
+        // Paper Eq. (34) with γ = 1.
+        let s3 = 3.0f64.sqrt();
+        Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]])
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = Matrix::<3>::identity();
+        let v = Vector::from([1.0, 2.0, 3.0]);
+        assert_eq!(i.mul_vec(&v), v);
+        assert_eq!(i.determinant(), 1.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn mul_vec_and_transpose() {
+        let m = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0]]);
+        let v = Vector::from([1.0, 1.0]);
+        assert_eq!(m.mul_vec(&v).as_slice(), &[3.0, 7.0]);
+        assert_eq!(m.transpose().0, [[1.0, 3.0], [2.0, 4.0]]);
+        assert_eq!(m.transpose_mul_vec(&v), m.transpose().mul_vec(&v));
+    }
+
+    #[test]
+    fn mul_mat_identity_is_noop() {
+        let m = sigma_paper();
+        let i = Matrix::<2>::identity();
+        assert_eq!(m.mul_mat(&i), m);
+        assert_eq!(i.mul_mat(&m), m);
+    }
+
+    #[test]
+    fn quadratic_form_matches_explicit() {
+        let m = sigma_paper();
+        let v = Vector::from([1.5, -2.0]);
+        let explicit = v.dot(&m.mul_vec(&v));
+        assert!((m.quadratic_form(&v) - explicit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_paper_sigma() {
+        // det = 7·3 − (2√3)² = 21 − 12 = 9.
+        assert!((sigma_paper().determinant() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_singular_is_zero() {
+        let m = Matrix::from_rows([[1.0, 2.0], [2.0, 4.0]]);
+        assert_eq!(m.determinant(), 0.0);
+    }
+
+    #[test]
+    fn determinant_needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let m = Matrix::from_rows([[0.0, 1.0], [1.0, 0.0]]);
+        assert!((m.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_roundtrip() {
+        let d = Vector::from([2.0, 5.0, 7.0]);
+        let m = Matrix::from_diagonal(&d);
+        assert_eq!(m.diagonal(), d);
+        assert!((m.determinant() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(sigma_paper().check_symmetric(1e-12).is_ok());
+        let mut bad = sigma_paper();
+        bad[(0, 1)] += 1.0;
+        assert!(matches!(
+            bad.check_symmetric(1e-12),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
+        let mut nan = sigma_paper();
+        nan[(1, 1)] = f64::NAN;
+        assert!(matches!(
+            nan.check_symmetric(1e-12),
+            Err(LinalgError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Vector::from([1.0, 2.0]);
+        let v = Vector::from([3.0, 4.0]);
+        let m = Matrix::outer(&u, &v);
+        assert_eq!(m.0, [[3.0, 4.0], [6.0, 8.0]]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows([[1.0, 2.0], [3.0, 4.0]]);
+        let b = Matrix::<2>::identity();
+        assert_eq!((a + b).0, [[2.0, 2.0], [3.0, 5.0]]);
+        assert_eq!((a - b).0, [[0.0, 2.0], [3.0, 3.0]]);
+        assert_eq!((a * 2.0).0, [[2.0, 4.0], [6.0, 8.0]]);
+    }
+
+    #[test]
+    fn display_formats_rows() {
+        let s = Matrix::<2>::identity().to_string();
+        assert!(s.contains("1.000000"));
+        assert!(s.contains('\n'));
+    }
+
+    fn entry() -> impl Strategy<Value = f64> {
+        -100.0..100.0
+    }
+
+    proptest! {
+        #[test]
+        fn prop_det_transpose_invariant(rows in [[entry(), entry()], [entry(), entry()]]) {
+            let m = Matrix(rows);
+            prop_assert!((m.determinant() - m.transpose().determinant()).abs() < 1e-6 * (1.0 + m.determinant().abs()));
+        }
+
+        #[test]
+        fn prop_det_product(
+            a in [[entry(), entry()], [entry(), entry()]],
+            b in [[entry(), entry()], [entry(), entry()]],
+        ) {
+            let (a, b) = (Matrix(a), Matrix(b));
+            let lhs = a.mul_mat(&b).determinant();
+            let rhs = a.determinant() * b.determinant();
+            prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + rhs.abs()));
+        }
+
+        #[test]
+        fn prop_quadratic_form_of_spd_positive(
+            v in [(-50.0..50.0f64), (-50.0..50.0f64)],
+            d1 in 0.1..10.0f64,
+            d2 in 0.1..10.0f64,
+            c in -0.9..0.9f64,
+        ) {
+            // Build an SPD matrix from a correlation-style parameterization.
+            let cov = c * (d1 * d2).sqrt();
+            let m = Matrix([[d1, cov], [cov, d2]]);
+            let v = Vector(v);
+            if v.norm() > 1e-6 {
+                prop_assert!(m.quadratic_form(&v) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Fixed-dimension vectors backed by stack arrays.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A `D`-dimensional vector of `f64`, stored inline.
+///
+/// This is the coordinate type used for both database points and query
+/// centers throughout the workspace. All arithmetic is allocation-free.
+///
+/// ```
+/// use gprq_linalg::Vector;
+/// let a = Vector::from([3.0, 4.0]);
+/// assert_eq!(a.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vector<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Vector<D> {
+    /// The zero vector.
+    pub const ZERO: Self = Vector([0.0; D]);
+
+    /// Creates a vector with every coordinate set to `value`.
+    pub fn splat(value: f64) -> Self {
+        Vector([value; D])
+    }
+
+    /// Creates a vector from a function of the coordinate index.
+    pub fn from_fn(mut f: impl FnMut(usize) -> f64) -> Self {
+        let mut out = [0.0; D];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+        Vector(out)
+    }
+
+    /// Borrows the coordinates as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Returns the dimensionality `D`.
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// Dot product `self · other`.
+    pub fn dot(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            acc += self.0[i] * other.0[i];
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm `‖self‖²`.
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm `‖self‖`.
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn distance_squared(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Self) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &Self) -> Self {
+        Self::from_fn(|i| self.0[i].min(other.0[i]))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &Self) -> Self {
+        Self::from_fn(|i| self.0[i].max(other.0[i]))
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns the unit vector in the direction of `self`.
+    ///
+    /// Returns `None` for the zero vector (or one with a denormal-tiny norm),
+    /// where the direction is undefined.
+    pub fn normalized(&self) -> Option<Self> {
+        let n = self.norm();
+        if n <= f64::MIN_POSITIVE {
+            None
+        } else {
+            Some(*self * (1.0 / n))
+        }
+    }
+
+    /// Linear interpolation `self + t · (other − self)`.
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        Self::from_fn(|i| self.0[i] + t * (other.0[i] - self.0[i]))
+    }
+}
+
+impl<const D: usize> Default for Vector<D> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Vector<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Vector(coords)
+    }
+}
+
+impl<const D: usize> From<Vector<D>> for [f64; D] {
+    fn from(v: Vector<D>) -> Self {
+        v.0
+    }
+}
+
+impl<const D: usize> Index<usize> for Vector<D> {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Vector<D> {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> Add for Vector<D> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|i| self.0[i] + rhs.0[i])
+    }
+}
+
+impl<const D: usize> AddAssign for Vector<D> {
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] += rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Sub for Vector<D> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fn(|i| self.0[i] - rhs.0[i])
+    }
+}
+
+impl<const D: usize> SubAssign for Vector<D> {
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..D {
+            self.0[i] -= rhs.0[i];
+        }
+    }
+}
+
+impl<const D: usize> Mul<f64> for Vector<D> {
+    type Output = Self;
+    fn mul(self, s: f64) -> Self {
+        Self::from_fn(|i| self.0[i] * s)
+    }
+}
+
+impl<const D: usize> Neg for Vector<D> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::from_fn(|i| -self.0[i])
+    }
+}
+
+impl<const D: usize> fmt::Display for Vector<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_splat() {
+        assert_eq!(Vector::<3>::ZERO.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Vector::<2>::splat(2.5).as_slice(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vector::from([1.0, 2.0, 3.0]);
+        let b = Vector::from([4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 + 18.0);
+        assert_eq!(Vector::from([3.0, 4.0]).norm(), 5.0);
+        assert_eq!(a.norm_squared(), 14.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vector::from([0.0, 0.0]);
+        let b = Vector::from([3.0, 4.0]);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from([1.0, 2.0]);
+        let b = Vector::from([3.0, 5.0]);
+        assert_eq!((a + b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((b - a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Vector::from([1.0, 5.0]);
+        let b = Vector::from([3.0, 2.0]);
+        assert_eq!(a.min(&b).as_slice(), &[1.0, 2.0]);
+        assert_eq!(a.max(&b).as_slice(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vector::from([3.0, 4.0]).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Vector::<2>::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vector::from([0.0, 10.0]);
+        let b = Vector::from([10.0, 0.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5).as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Vector::from([1.0, 2.0]).is_finite());
+        assert!(!Vector::from([f64::NAN, 0.0]).is_finite());
+        assert!(!Vector::from([f64::INFINITY, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn indexing_and_display() {
+        let mut v = Vector::from([1.0, 2.0]);
+        v[1] = 9.0;
+        assert_eq!(v[1], 9.0);
+        assert_eq!(v.to_string(), "(1, 9)");
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1.0e3..1.0e3
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangle_inequality(
+            a in [coord(), coord(), coord()],
+            b in [coord(), coord(), coord()],
+            c in [coord(), coord(), coord()],
+        ) {
+            let (a, b, c) = (Vector(a), Vector(b), Vector(c));
+            prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(a in [coord(), coord()], b in [coord(), coord()]) {
+            let (a, b) = (Vector(a), Vector(b));
+            prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-6);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in [coord(), coord()], b in [coord(), coord()]) {
+            let (a, b) = (Vector(a), Vector(b));
+            let r = (a + b) - b;
+            for i in 0..2 {
+                prop_assert!((r[i] - a[i]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_norm_scaling(a in [coord(), coord()], s in -100.0..100.0f64) {
+            let a = Vector(a);
+            prop_assert!(((a * s).norm() - s.abs() * a.norm()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! A uniform-grid spatial index — the classical baseline against the
+//! R\*-tree for Phase-1 candidate retrieval.
+//!
+//! A static grid partitions the data bounding box into `resolution^D`
+//! equal cells and buckets points by cell. Range queries visit exactly
+//! the cells overlapping the query region. On low-dimensional,
+//! moderately skewed data (the paper's road network) a grid is a strong
+//! baseline; in 9-D the cell count explodes or the cells degenerate —
+//! which is precisely why the paper's lineage uses R-trees. The
+//! `ablation` bench quantifies both sides.
+
+use crate::query::SearchStats;
+use crate::rect::Rect;
+use gprq_linalg::Vector;
+
+/// A static uniform grid over `D`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct UniformGrid<const D: usize, T> {
+    bounds: Rect<D>,
+    resolution: usize,
+    /// Row-major cells; each holds the records bucketed into it.
+    cells: Vec<Vec<(Vector<D>, T)>>,
+    len: usize,
+}
+
+impl<const D: usize, T> UniformGrid<D, T> {
+    /// Builds a grid with `resolution` cells per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0`, if `resolution^D` overflows a
+    /// reasonable cell budget (`> 2^26` cells), or if any point is
+    /// non-finite.
+    pub fn build(points: Vec<(Vector<D>, T)>, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        let cell_count = resolution
+            .checked_pow(D as u32)
+            .filter(|&c| c <= 1 << 26)
+            .unwrap_or_else(|| panic!("grid of {resolution}^{D} cells is too large"));
+        assert!(
+            points.iter().all(|(p, _)| p.is_finite()),
+            "grid keys must be finite"
+        );
+
+        let bounds = match points.first() {
+            None => Rect::from_point(&Vector::ZERO),
+            Some((first, _)) => {
+                let mut b = Rect::from_point(first);
+                for (p, _) in &points[1..] {
+                    b.extend_point(p);
+                }
+                b
+            }
+        };
+
+        let mut grid = UniformGrid {
+            bounds,
+            resolution,
+            cells: (0..cell_count).map(|_| Vec::new()).collect(),
+            len: 0,
+        };
+        for (p, data) in points {
+            let idx = grid.cell_index(&grid.cell_coords(&p));
+            grid.cells[idx].push((p, data));
+            grid.len += 1;
+        }
+        grid
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cells per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Per-axis cell coordinates of a point (clamped into range).
+    fn cell_coords(&self, p: &Vector<D>) -> [usize; D] {
+        let mut coords = [0usize; D];
+        for i in 0..D {
+            let extent = (self.bounds.hi[i] - self.bounds.lo[i]).max(f64::MIN_POSITIVE);
+            let t = (p[i] - self.bounds.lo[i]) / extent;
+            coords[i] = ((t * self.resolution as f64) as usize).min(self.resolution - 1);
+        }
+        coords
+    }
+
+    /// Row-major linear index.
+    fn cell_index(&self, coords: &[usize; D]) -> usize {
+        let mut idx = 0usize;
+        for &c in coords.iter() {
+            idx = idx * self.resolution + c;
+        }
+        idx
+    }
+
+    /// Returns all records whose points lie in `rect`, counting visited
+    /// cells in `stats.nodes_visited`.
+    pub fn query_rect_with_stats(
+        &self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+    ) -> Vec<(&Vector<D>, &T)> {
+        let mut out = Vec::new();
+        if self.is_empty() || !rect.intersects(&self.bounds) {
+            return out;
+        }
+        let lo = self.cell_coords(&rect.lo.max(&self.bounds.lo));
+        let hi = self.cell_coords(&rect.hi.min(&self.bounds.hi));
+        // Iterate the sub-lattice [lo, hi] with a mixed-radix odometer.
+        let mut cursor = lo;
+        'visit: loop {
+            stats.nodes_visited += 1;
+            let idx = self.cell_index(&cursor);
+            for (p, data) in &self.cells[idx] {
+                stats.entries_checked += 1;
+                if rect.contains_point(p) {
+                    stats.results += 1;
+                    out.push((p, data));
+                }
+            }
+            // Advance: increment the last axis that has room, resetting
+            // everything after it.
+            let mut axis = D;
+            while axis > 0 {
+                axis -= 1;
+                if cursor[axis] < hi[axis] {
+                    cursor[axis] += 1;
+                    cursor[(axis + 1)..D].copy_from_slice(&lo[(axis + 1)..D]);
+                    continue 'visit;
+                }
+            }
+            break;
+        }
+        out
+    }
+
+    /// Returns all records whose points lie in `rect`.
+    pub fn query_rect(&self, rect: &Rect<D>) -> Vec<(&Vector<D>, &T)> {
+        let mut stats = SearchStats::default();
+        self.query_rect_with_stats(rect, &mut stats)
+    }
+
+    /// Returns all records within `radius` of `center`.
+    pub fn query_ball(&self, center: &Vector<D>, radius: f64) -> Vec<(&Vector<D>, &T)> {
+        let rect = Rect::centered(center, &Vector::splat(radius));
+        let radius_sq = radius * radius;
+        self.query_rect(&rect)
+            .into_iter()
+            .filter(|(p, _)| p.distance_squared(center) <= radius_sq)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Vector<2>, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    Vector::from([rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0]),
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid: UniformGrid<2, usize> = UniformGrid::build(Vec::new(), 8);
+        assert!(grid.is_empty());
+        assert_eq!(grid.len(), 0);
+        assert!(grid.query_rect(&Rect::everything()).is_empty());
+        assert!(grid.query_ball(&Vector::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let points = random_points(3_000, 5);
+        let grid = UniformGrid::build(points.clone(), 16);
+        assert_eq!(grid.len(), 3_000);
+        assert_eq!(grid.cell_count(), 256);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let c = Vector::from([rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0]);
+            let half = Vector::from([rng.gen::<f64>() * 20.0, rng.gen::<f64>() * 20.0]);
+            let rect = Rect::centered(&c, &half);
+            let mut got: Vec<usize> = grid.query_rect(&rect).iter().map(|(_, d)| **d).collect();
+            got.sort_unstable();
+            let mut expect: Vec<usize> = points
+                .iter()
+                .filter(|(p, _)| rect.contains_point(p))
+                .map(|(_, d)| *d)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+
+            let r = rng.gen::<f64>() * 15.0;
+            let mut got: Vec<usize> = grid.query_ball(&c, r).iter().map(|(_, d)| **d).collect();
+            got.sort_unstable();
+            let mut expect: Vec<usize> = points
+                .iter()
+                .filter(|(p, _)| p.distance(&c) <= r)
+                .map(|(_, d)| *d)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn stats_count_only_overlapping_cells() {
+        let points = random_points(5_000, 9);
+        let grid = UniformGrid::build(points, 32);
+        let mut stats = SearchStats::default();
+        // A rect covering ~1/16 of the extent per axis.
+        let rect = Rect::centered(&Vector::from([50.0, 50.0]), &Vector::from([3.0, 3.0]));
+        grid.query_rect_with_stats(&rect, &mut stats);
+        assert!(stats.nodes_visited >= 1);
+        assert!(
+            stats.nodes_visited <= 16,
+            "a 6×6 window over 3.125-unit cells should touch ≤ 16 cells, got {}",
+            stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn boundary_points_are_bucketed() {
+        // Points exactly on the global max corner must not be lost.
+        let points = vec![
+            (Vector::from([0.0, 0.0]), 0),
+            (Vector::from([10.0, 10.0]), 1),
+        ];
+        let grid = UniformGrid::build(points, 4);
+        let all = grid.query_rect(&Rect::everything());
+        assert_eq!(all.len(), 2);
+        let corner = grid.query_ball(&Vector::from([10.0, 10.0]), 0.0);
+        assert_eq!(corner.len(), 1);
+        assert_eq!(*corner[0].1, 1);
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let grid = UniformGrid::build(random_points(100, 3), 8);
+        let far = Rect::centered(&Vector::from([1e6, 1e6]), &Vector::from([1.0, 1.0]));
+        assert!(grid.query_rect(&far).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_grid_rejected() {
+        let pts: Vec<(Vector<9>, u8)> = vec![(Vector::splat(0.0), 0)];
+        let _ = UniformGrid::build(pts, 64); // 64^9 cells
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_rejected() {
+        let _: UniformGrid<2, u8> = UniformGrid::build(Vec::new(), 0);
+    }
+
+    #[test]
+    fn identical_points_single_cell() {
+        let pts = vec![(Vector::from([5.0, 5.0]), 0); 50];
+        let grid = UniformGrid::build(pts, 8);
+        assert_eq!(grid.query_ball(&Vector::from([5.0, 5.0]), 0.1).len(), 50);
+    }
+}

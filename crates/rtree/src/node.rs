@@ -1,0 +1,143 @@
+//! Tree node representation.
+
+use crate::rect::Rect;
+use gprq_linalg::Vector;
+
+/// A data record stored in a leaf: a point plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafEntry<const D: usize, T> {
+    /// Spatial key.
+    pub point: Vector<D>,
+    /// Application payload (typically a record id).
+    pub data: T,
+}
+
+/// A tree node. Leaves (`level == 0`) hold [`LeafEntry`] records; internal
+/// nodes hold child nodes. Exactly one of `entries` / `children` is
+/// non-empty (both are empty only for an empty root leaf).
+#[derive(Debug, Clone)]
+pub(crate) struct Node<const D: usize, T> {
+    /// Minimum bounding rectangle of everything below this node.
+    pub mbr: Rect<D>,
+    /// Height above the leaf level (leaves are level 0).
+    pub level: u32,
+    /// Child nodes (internal nodes only).
+    pub children: Vec<Node<D, T>>,
+    /// Data records (leaves only).
+    pub entries: Vec<LeafEntry<D, T>>,
+}
+
+impl<const D: usize, T> Node<D, T> {
+    /// An empty leaf with a degenerate MBR at the origin.
+    pub fn empty_leaf() -> Self {
+        Node {
+            mbr: Rect::from_point(&Vector::ZERO),
+            level: 0,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// A leaf holding the given records (computes the MBR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn leaf_from_entries(entries: Vec<LeafEntry<D, T>>) -> Self {
+        assert!(!entries.is_empty());
+        let mut mbr = Rect::from_point(&entries[0].point);
+        for e in &entries[1..] {
+            mbr.extend_point(&e.point);
+        }
+        Node {
+            mbr,
+            level: 0,
+            children: Vec::new(),
+            entries,
+        }
+    }
+
+    /// An internal node over the given children (computes MBR and level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty or the children have mixed levels.
+    pub fn internal_from_children(children: Vec<Node<D, T>>) -> Self {
+        assert!(!children.is_empty());
+        let level = children[0].level + 1;
+        debug_assert!(children.iter().all(|c| c.level + 1 == level));
+        let mut mbr = children[0].mbr;
+        for c in &children[1..] {
+            mbr.extend_rect(&c.mbr);
+        }
+        Node {
+            mbr,
+            level,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
+        .with_children(children)
+    }
+
+    fn with_children(mut self, children: Vec<Node<D, T>>) -> Self {
+        self.children = children;
+        self
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of slots in use (entries for leaves, children otherwise).
+    pub fn occupancy(&self) -> usize {
+        if self.is_leaf() {
+            self.entries.len()
+        } else {
+            self.children.len()
+        }
+    }
+
+    /// Recomputes this node's MBR from its direct contents.
+    pub fn recompute_mbr(&mut self) {
+        if self.is_leaf() {
+            if let Some((first, rest)) = self.entries.split_first() {
+                let mut mbr = Rect::from_point(&first.point);
+                for e in rest {
+                    mbr.extend_point(&e.point);
+                }
+                self.mbr = mbr;
+            }
+        } else if let Some((first, rest)) = self.children.split_first() {
+            let mut mbr = first.mbr;
+            for c in rest {
+                mbr.extend_rect(&c.mbr);
+            }
+            self.mbr = mbr;
+        }
+    }
+
+    /// Total node count of the subtree (including `self`).
+    pub fn count_nodes(&self) -> usize {
+        1 + self.children.iter().map(Node::count_nodes).sum::<usize>()
+    }
+}
+
+/// Anything with a bounding rectangle — lets the R\* split run unchanged
+/// over leaf entries and child nodes.
+pub(crate) trait HasMbr<const D: usize> {
+    /// Bounding rectangle of the item.
+    fn item_mbr(&self) -> Rect<D>;
+}
+
+impl<const D: usize, T> HasMbr<D> for LeafEntry<D, T> {
+    fn item_mbr(&self) -> Rect<D> {
+        Rect::from_point(&self.point)
+    }
+}
+
+impl<const D: usize, T> HasMbr<D> for Node<D, T> {
+    fn item_mbr(&self) -> Rect<D> {
+        self.mbr
+    }
+}

@@ -1,0 +1,136 @@
+//! R\*-tree tuning parameters.
+
+/// Fanout and reinsertion parameters of an R\*-tree.
+///
+/// The paper's experiments use a 1 KB page size (§V-A); page size maps to
+/// fanout via the on-disk entry footprint, see
+/// [`RStarParams::from_page_size`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RStarParams {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per non-root node (`m`); the Beckmann et al. R\*
+    /// recommendation is `m = 40 % · M`.
+    pub min_entries: usize,
+    /// Entries removed on forced reinsertion (`p`); the R\* recommendation
+    /// is `p = 30 % · M`.
+    pub reinsert_count: usize,
+}
+
+impl RStarParams {
+    /// Creates parameters from an explicit maximum fanout, applying the
+    /// standard R\* ratios `m = 0.4·M`, `p = 0.3·M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 4` (a split of `M + 1` entries must leave
+    /// both halves with at least `m ≥ 2`).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(
+            max_entries >= 4,
+            "R*-tree needs max_entries >= 4, got {max_entries}"
+        );
+        let min_entries = ((max_entries as f64 * 0.4) as usize).max(2);
+        let reinsert_count = ((max_entries as f64 * 0.3) as usize).max(1);
+        RStarParams {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
+    }
+
+    /// Derives the fanout from a disk page size, matching the paper's
+    /// experimental setup ("the page size of an R*-tree node was set as
+    /// 1 KB", §V-A).
+    ///
+    /// The per-entry footprint assumes classical layouts:
+    /// * leaf entry: a `d`-dimensional point (`8d` bytes) + an 8-byte
+    ///   record id,
+    /// * internal entry: an MBR (`16d` bytes) + an 8-byte child pointer.
+    ///
+    /// One fanout is used for both node kinds (the internal footprint,
+    /// being larger, dominates), as in common implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is too small to hold 4 internal entries.
+    pub fn from_page_size(page_bytes: usize, dim: usize) -> Self {
+        let internal_entry = 16 * dim + 8;
+        let fanout = page_bytes / internal_entry;
+        assert!(
+            fanout >= 4,
+            "page of {page_bytes} bytes holds only {fanout} entries in {dim}-D; need >= 4"
+        );
+        Self::new(fanout)
+    }
+
+    /// The paper's configuration: 1 KB pages.
+    pub fn paper_default(dim: usize) -> Self {
+        Self::from_page_size(1024, dim)
+    }
+}
+
+impl Default for RStarParams {
+    /// A general-purpose in-memory fanout.
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_follow_rstar_recommendations() {
+        let p = RStarParams::new(100);
+        assert_eq!(p.max_entries, 100);
+        assert_eq!(p.min_entries, 40);
+        assert_eq!(p.reinsert_count, 30);
+    }
+
+    #[test]
+    fn small_fanout_clamps_minimums() {
+        let p = RStarParams::new(4);
+        assert!(p.min_entries >= 2);
+        assert!(p.reinsert_count >= 1);
+        // Both split halves can satisfy m: M + 1 − m ≥ m.
+        assert!(p.max_entries + 1 - p.min_entries >= p.min_entries);
+    }
+
+    #[test]
+    fn page_size_2d_matches_paper_setup() {
+        // 1 KB page, 2-D: internal entry = 40 bytes → fanout 25.
+        let p = RStarParams::paper_default(2);
+        assert_eq!(p.max_entries, 25);
+        assert_eq!(p.min_entries, 10);
+        assert_eq!(p.reinsert_count, 7);
+    }
+
+    #[test]
+    fn page_size_9d() {
+        // 1 KB page, 9-D: internal entry = 152 bytes → fanout 6.
+        let p = RStarParams::paper_default(9);
+        assert_eq!(p.max_entries, 6);
+        assert_eq!(p.min_entries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_entries >= 4")]
+    fn rejects_tiny_fanout() {
+        RStarParams::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need >= 4")]
+    fn rejects_tiny_page() {
+        RStarParams::from_page_size(64, 9);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        let p = RStarParams::default();
+        assert!(p.min_entries * 2 <= p.max_entries + 1);
+        assert!(p.reinsert_count < p.max_entries);
+    }
+}

@@ -1,0 +1,289 @@
+//! Axis-aligned `D`-dimensional rectangles (minimum bounding boxes).
+
+use gprq_linalg::Vector;
+
+/// An axis-aligned box `[lo, hi]` in `D` dimensions.
+///
+/// The fundamental geometry of the R\*-tree: every node stores the MBR of
+/// its subtree, and the R\* insertion heuristics are phrased in terms of
+/// the area, margin, and pairwise overlap of candidate MBRs.
+///
+/// Degenerate boxes (`lo == hi` in some axes) are valid — a freshly created
+/// leaf MBR around a single point is fully degenerate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Lower corner (component-wise minimum).
+    pub lo: Vector<D>,
+    /// Upper corner (component-wise maximum).
+    pub hi: Vector<D>,
+}
+
+impl<const D: usize> Rect<D> {
+    /// A rectangle containing exactly one point.
+    pub fn from_point(p: &Vector<D>) -> Self {
+        Rect { lo: *p, hi: *p }
+    }
+
+    /// A rectangle from two opposite corners, in any order.
+    pub fn from_corners(a: &Vector<D>, b: &Vector<D>) -> Self {
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// The centered box `[center − half, center + half]` per axis.
+    ///
+    /// Used to build query regions: the RR strategy's Minkowski box has
+    /// per-axis half-widths `σᵢ·r_θ + δ` (paper Fig. 4), the BF strategy's
+    /// has `α∥` in every axis (Algorithm 2, line 6).
+    pub fn centered(center: &Vector<D>, half_widths: &Vector<D>) -> Self {
+        debug_assert!((0..D).all(|i| half_widths[i] >= 0.0));
+        Rect {
+            lo: *center - *half_widths,
+            hi: *center + *half_widths,
+        }
+    }
+
+    /// The "everything" rectangle (useful as a scan query in tests).
+    pub fn everything() -> Self {
+        Rect {
+            lo: Vector::splat(f64::NEG_INFINITY),
+            hi: Vector::splat(f64::INFINITY),
+        }
+    }
+
+    /// Side length along axis `i`.
+    pub fn extent(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vector<D> {
+        Vector::from_fn(|i| 0.5 * (self.lo[i] + self.hi[i]))
+    }
+
+    /// Hyper-volume (product of extents).
+    pub fn area(&self) -> f64 {
+        let mut a = 1.0;
+        for i in 0..D {
+            a *= self.extent(i);
+        }
+        a
+    }
+
+    /// Margin (sum of extents) — the R\* split criterion minimizes the sum
+    /// of margins over candidate distributions.
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|i| self.extent(i)).sum()
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Self) -> Self {
+        Rect {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// Grows `self` in place to contain `p`.
+    pub fn extend_point(&mut self, p: &Vector<D>) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Grows `self` in place to contain `other`.
+    pub fn extend_rect(&mut self, other: &Self) {
+        self.lo = self.lo.min(&other.lo);
+        self.hi = self.hi.max(&other.hi);
+    }
+
+    /// Area increase needed to absorb `other`:
+    /// `area(self ∪ other) − area(self)`.
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Volume of the intersection, `0` if disjoint.
+    pub fn overlap_area(&self, other: &Self) -> f64 {
+        let mut a = 1.0;
+        for i in 0..D {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            a *= hi - lo;
+        }
+        a
+    }
+
+    /// `true` if the rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] && self.hi[i] >= other.lo[i])
+    }
+
+    /// `true` if `p` lies inside (boundary inclusive).
+    pub fn contains_point(&self, p: &Vector<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] && p[i] <= self.hi[i])
+    }
+
+    /// `true` if `other` lies fully inside `self` (boundary inclusive).
+    pub fn contains_rect(&self, other: &Self) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// Squared Euclidean distance from `p` to the nearest point of the
+    /// rectangle (`0` if `p` is inside).
+    ///
+    /// This *MINDIST* metric drives best-first k-NN search, sphere-range
+    /// pruning, and — in `gprq-core` — the RR strategy's fringe filter
+    /// (distance from a candidate to the θ-region bounding box, paper
+    /// Fig. 4).
+    pub fn min_dist_squared(&self, p: &Vector<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if p[i] < self.lo[i] {
+                self.lo[i] - p[i]
+            } else if p[i] > self.hi[i] {
+                p[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the *farthest* point of the rectangle.
+    pub fn max_dist_squared(&self, p: &Vector<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = (p[i] - self.lo[i]).abs().max((p[i] - self.hi[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// `true` if the rectangle intersects the ball `B(center, radius)`.
+    pub fn intersects_ball(&self, center: &Vector<D>, radius: f64) -> bool {
+        self.min_dist_squared(center) <= radius * radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect {
+            lo: Vector::from(lo),
+            hi: Vector::from(hi),
+        }
+    }
+
+    #[test]
+    fn construction_normalizes_corners() {
+        let r = Rect::from_corners(&Vector::from([5.0, 0.0]), &Vector::from([0.0, 5.0]));
+        assert_eq!(r.lo.as_slice(), &[0.0, 0.0]);
+        assert_eq!(r.hi.as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn point_rect_is_degenerate() {
+        let r = Rect::from_point(&Vector::from([1.0, 2.0]));
+        assert_eq!(r.area(), 0.0);
+        assert_eq!(r.margin(), 0.0);
+        assert!(r.contains_point(&Vector::from([1.0, 2.0])));
+        assert!(!r.contains_point(&Vector::from([1.0, 2.1])));
+    }
+
+    #[test]
+    fn centered_box() {
+        let r = Rect::centered(&Vector::from([10.0, 20.0]), &Vector::from([2.0, 3.0]));
+        assert_eq!(r.lo.as_slice(), &[8.0, 17.0]);
+        assert_eq!(r.hi.as_slice(), &[12.0, 23.0]);
+        assert_eq!(r.center().as_slice(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn area_margin_extent() {
+        let r = r2([0.0, 0.0], [4.0, 2.0]);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.margin(), 6.0);
+        assert_eq!(r.extent(0), 4.0);
+        assert_eq!(r.extent(1), 2.0);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([3.0, 1.0], [4.0, 2.0]);
+        let u = a.union(&b);
+        assert_eq!(u.lo.as_slice(), &[0.0, 0.0]);
+        assert_eq!(u.hi.as_slice(), &[4.0, 2.0]);
+        assert_eq!(a.enlargement(&b), 8.0 - 4.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn overlap() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        let c = r2([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        // Touching boundary counts as intersecting but zero overlap area.
+        let d = r2([2.0, 0.0], [3.0, 2.0]);
+        assert!(a.intersects(&d));
+        assert_eq!(a.overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = r2([0.0, 0.0], [10.0, 10.0]);
+        let inner = r2([2.0, 2.0], [3.0, 3.0]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn extend_operations() {
+        let mut r = Rect::from_point(&Vector::from([1.0, 1.0]));
+        r.extend_point(&Vector::from([3.0, 0.0]));
+        assert_eq!(r.lo.as_slice(), &[1.0, 0.0]);
+        assert_eq!(r.hi.as_slice(), &[3.0, 1.0]);
+        r.extend_rect(&r2([-1.0, -1.0], [0.0, 0.0]));
+        assert_eq!(r.lo.as_slice(), &[-1.0, -1.0]);
+    }
+
+    #[test]
+    fn min_max_dist() {
+        let r = r2([0.0, 0.0], [2.0, 2.0]);
+        // Inside → 0.
+        assert_eq!(r.min_dist_squared(&Vector::from([1.0, 1.0])), 0.0);
+        // Straight out along x.
+        assert_eq!(r.min_dist_squared(&Vector::from([5.0, 1.0])), 9.0);
+        // Corner distance.
+        assert_eq!(r.min_dist_squared(&Vector::from([3.0, 3.0])), 2.0);
+        // Max dist from center is the corner.
+        assert_eq!(r.max_dist_squared(&Vector::from([1.0, 1.0])), 2.0);
+    }
+
+    #[test]
+    fn ball_intersection() {
+        let r = r2([0.0, 0.0], [2.0, 2.0]);
+        assert!(r.intersects_ball(&Vector::from([3.0, 1.0]), 1.0));
+        assert!(!r.intersects_ball(&Vector::from([3.0, 1.0]), 0.5));
+        // Ball fully inside.
+        assert!(r.intersects_ball(&Vector::from([1.0, 1.0]), 0.1));
+    }
+
+    #[test]
+    fn everything_contains_all() {
+        let e = Rect::<3>::everything();
+        assert!(e.contains_point(&Vector::from([1e308, -1e308, 0.0])));
+        assert!(e.intersects(&Rect::from_point(&Vector::from([0.0, 0.0, 0.0]))));
+    }
+}

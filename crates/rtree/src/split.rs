@@ -1,0 +1,228 @@
+//! The R\* node-split algorithm (Beckmann, Kriegel, Schneider, Seeger 1990).
+//!
+//! Splitting an overflowing set of `M + 1` items proceeds in two steps:
+//!
+//! 1. **Choose split axis** — for every axis, sort the items by their MBR's
+//!    lower then upper boundary and sum the margins of all legal
+//!    two-group distributions; pick the axis with the minimum margin sum.
+//! 2. **Choose split index** — along the chosen axis, pick the
+//!    distribution with minimum overlap between the two group MBRs,
+//!    breaking ties by minimum combined area.
+//!
+//! The implementation is generic over [`HasMbr`] so the identical code
+//! splits both leaf entries (points) and internal children (rectangles).
+
+use crate::node::HasMbr;
+use crate::rect::Rect;
+
+/// Outcome of a split: the two groups, in arbitrary order. Both satisfy
+/// the minimum-occupancy constraint `m`.
+pub(crate) struct Split<I> {
+    pub left: Vec<I>,
+    pub right: Vec<I>,
+}
+
+/// Splits `items` (an overflowing node's contents, `M + 1` of them) into
+/// two groups per the R\* heuristics.
+///
+/// # Panics
+///
+/// Debug-asserts `items.len() >= 2 * min_entries`.
+pub(crate) fn rstar_split<const D: usize, I: HasMbr<D>>(
+    mut items: Vec<I>,
+    min_entries: usize,
+) -> Split<I> {
+    let n = items.len();
+    debug_assert!(
+        n >= 2 * min_entries,
+        "cannot split {n} items with m = {min_entries}"
+    );
+
+    // Step 1: choose the split axis by minimum margin sum over both
+    // sortings (by lower and by upper boundary).
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin = 0.0;
+        for sort_by_upper in [false, true] {
+            sort_items(&mut items, axis, sort_by_upper);
+            margin += distributions_margin_sum::<D, I>(&items, min_entries);
+        }
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    // Step 2: along the chosen axis, choose the distribution minimizing
+    // overlap (ties: minimum total area) across both sortings.
+    let mut best: Option<(bool, usize, f64, f64)> = None; // (upper?, k, overlap, area)
+    for sort_by_upper in [false, true] {
+        sort_items(&mut items, best_axis, sort_by_upper);
+        let prefixes = prefix_mbrs::<D, I>(&items);
+        let suffixes = suffix_mbrs::<D, I>(&items);
+        for k in min_entries..=(n - min_entries) {
+            let left = prefixes[k - 1];
+            let right = suffixes[k];
+            let overlap = left.overlap_area(&right);
+            let area = left.area() + right.area();
+            let better = match best {
+                None => true,
+                Some((_, _, bo, ba)) => overlap < bo || (overlap == bo && area < ba),
+            };
+            if better {
+                best = Some((sort_by_upper, k, overlap, area));
+            }
+        }
+    }
+    let (sort_by_upper, k, _, _) = best.expect("at least one distribution exists");
+    sort_items(&mut items, best_axis, sort_by_upper);
+    let right = items.split_off(k);
+    Split { left: items, right }
+}
+
+fn sort_items<const D: usize, I: HasMbr<D>>(items: &mut [I], axis: usize, by_upper: bool) {
+    items.sort_by(|a, b| {
+        let (ka, kb) = if by_upper {
+            (a.item_mbr().hi[axis], b.item_mbr().hi[axis])
+        } else {
+            (a.item_mbr().lo[axis], b.item_mbr().lo[axis])
+        };
+        ka.total_cmp(&kb)
+    });
+}
+
+/// Sum of `margin(left) + margin(right)` over every legal distribution of
+/// the (already sorted) items.
+fn distributions_margin_sum<const D: usize, I: HasMbr<D>>(items: &[I], min_entries: usize) -> f64 {
+    let n = items.len();
+    let prefixes = prefix_mbrs::<D, I>(items);
+    let suffixes = suffix_mbrs::<D, I>(items);
+    let mut total = 0.0;
+    for k in min_entries..=(n - min_entries) {
+        total += prefixes[k - 1].margin() + suffixes[k].margin();
+    }
+    total
+}
+
+/// `prefix_mbrs[i]` = MBR of `items[0..=i]`.
+fn prefix_mbrs<const D: usize, I: HasMbr<D>>(items: &[I]) -> Vec<Rect<D>> {
+    let mut out = Vec::with_capacity(items.len());
+    let mut acc = items[0].item_mbr();
+    out.push(acc);
+    for item in &items[1..] {
+        acc.extend_rect(&item.item_mbr());
+        out.push(acc);
+    }
+    out
+}
+
+/// `suffix_mbrs[i]` = MBR of `items[i..]`.
+fn suffix_mbrs<const D: usize, I: HasMbr<D>>(items: &[I]) -> Vec<Rect<D>> {
+    let mut out = vec![items[items.len() - 1].item_mbr(); items.len()];
+    for i in (0..items.len() - 1).rev() {
+        let mut acc = items[i].item_mbr();
+        acc.extend_rect(&out[i + 1]);
+        out[i] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LeafEntry;
+    use gprq_linalg::Vector;
+
+    fn entries(points: &[[f64; 2]]) -> Vec<LeafEntry<2, usize>> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry {
+                point: Vector::from(*p),
+                data: i,
+            })
+            .collect()
+    }
+
+    fn group_mbr(items: &[LeafEntry<2, usize>]) -> Rect<2> {
+        let mut mbr = Rect::from_point(&items[0].point);
+        for e in &items[1..] {
+            mbr.extend_point(&e.point);
+        }
+        mbr
+    }
+
+    #[test]
+    fn splits_two_obvious_clusters() {
+        // Two tight clusters far apart: the split must separate them.
+        let pts = [
+            [0.0, 0.0],
+            [1.0, 1.0],
+            [0.5, 0.2],
+            [0.1, 0.9],
+            [100.0, 100.0],
+            [101.0, 101.0],
+            [100.5, 100.2],
+            [100.1, 100.9],
+        ];
+        let split = rstar_split(entries(&pts), 2);
+        let (l, r) = (group_mbr(&split.left), group_mbr(&split.right));
+        assert_eq!(l.overlap_area(&r), 0.0);
+        assert_eq!(split.left.len() + split.right.len(), 8);
+        // Each group must contain one full cluster.
+        let left_is_low = split.left[0].point[0] < 50.0;
+        for e in &split.left {
+            assert_eq!(e.point[0] < 50.0, left_is_low);
+        }
+    }
+
+    #[test]
+    fn respects_min_entries() {
+        // Highly skewed: 9 points in one spot, 1 far away. With m = 4 the
+        // split still must give each side at least 4.
+        let mut pts = vec![[1000.0, 1000.0]];
+        for i in 0..9 {
+            pts.push([i as f64 * 0.01, 0.0]);
+        }
+        let split = rstar_split(entries(&pts), 4);
+        assert!(split.left.len() >= 4);
+        assert!(split.right.len() >= 4);
+        assert_eq!(split.left.len() + split.right.len(), 10);
+    }
+
+    #[test]
+    fn chooses_better_axis() {
+        // Points form two rows stacked vertically — splitting on y gives
+        // zero overlap; splitting on x would interleave.
+        let pts = [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [2.0, 0.0],
+            [3.0, 0.0],
+            [0.0, 10.0],
+            [1.0, 10.0],
+            [2.0, 10.0],
+            [3.0, 10.0],
+        ];
+        let split = rstar_split(entries(&pts), 2);
+        let (l, r) = (group_mbr(&split.left), group_mbr(&split.right));
+        assert_eq!(l.overlap_area(&r), 0.0);
+        let ys_left: Vec<f64> = split.left.iter().map(|e| e.point[1]).collect();
+        assert!(ys_left.iter().all(|&y| y == ys_left[0]));
+    }
+
+    #[test]
+    fn split_preserves_all_items() {
+        let pts: Vec<[f64; 2]> = (0..20).map(|i| [i as f64, (i * 7 % 13) as f64]).collect();
+        let split = rstar_split(entries(&pts), 8);
+        let mut ids: Vec<usize> = split
+            .left
+            .iter()
+            .chain(split.right.iter())
+            .map(|e| e.data)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,376 @@
+//! Behavioural tests for the R*-tree: every query is cross-checked against
+//! a brute-force linear scan, and structural invariants are validated
+//! after batches of mutations.
+
+use gprq_linalg::Vector;
+use gprq_rtree::{RStarParams, RTree, Rect, SearchStats};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random point cloud.
+fn random_points(n: usize, seed: u64, extent: f64) -> Vec<(Vector<2>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Vector::from([rng.gen::<f64>() * extent, rng.gen::<f64>() * extent]),
+                i,
+            )
+        })
+        .collect()
+}
+
+fn brute_force_rect(points: &[(Vector<2>, usize)], rect: &Rect<2>) -> Vec<usize> {
+    let mut ids: Vec<usize> = points
+        .iter()
+        .filter(|(p, _)| rect.contains_point(p))
+        .map(|(_, id)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn brute_force_ball(points: &[(Vector<2>, usize)], center: &Vector<2>, radius: f64) -> Vec<usize> {
+    let mut ids: Vec<usize> = points
+        .iter()
+        .filter(|(p, _)| p.distance(center) <= radius)
+        .map(|(_, id)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let tree: RTree<2, usize> = RTree::new();
+    assert!(tree.is_empty());
+    assert_eq!(tree.len(), 0);
+    assert!(tree.bounding_rect().is_none());
+    assert!(tree.query_rect(&Rect::everything()).is_empty());
+    assert!(tree.query_ball(&Vector::ZERO, 100.0).is_empty());
+    assert!(tree.nearest_neighbors(&Vector::ZERO, 5).is_empty());
+    assert!(tree.validate().is_ok());
+}
+
+#[test]
+fn single_point() {
+    let mut tree: RTree<2, usize> = RTree::new();
+    tree.insert(Vector::from([3.0, 4.0]), 7);
+    assert_eq!(tree.len(), 1);
+    assert_eq!(tree.height(), 1);
+    let hits = tree.query_ball(&Vector::ZERO, 5.0);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(*hits[0].1, 7);
+    assert!(tree.query_ball(&Vector::ZERO, 4.999).is_empty());
+    assert!(tree.validate().is_ok());
+}
+
+#[test]
+fn insert_queries_match_brute_force() {
+    let points = random_points(5_000, 42, 1000.0);
+    let mut tree: RTree<2, usize> = RTree::with_params(RStarParams::paper_default(2));
+    for (p, id) in &points {
+        tree.insert(*p, *id);
+    }
+    assert_eq!(tree.len(), points.len());
+    tree.validate().expect("valid after inserts");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..50 {
+        let cx = rng.gen::<f64>() * 1000.0;
+        let cy = rng.gen::<f64>() * 1000.0;
+        let half = rng.gen::<f64>() * 100.0;
+        let rect = Rect::centered(&Vector::from([cx, cy]), &Vector::from([half, half]));
+        let mut got: Vec<usize> = tree.query_rect(&rect).iter().map(|(_, id)| **id).collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force_rect(&points, &rect));
+
+        let radius = rng.gen::<f64>() * 80.0;
+        let center = Vector::from([cx, cy]);
+        let mut got: Vec<usize> = tree
+            .query_ball(&center, radius)
+            .iter()
+            .map(|(_, id)| **id)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force_ball(&points, &center, radius));
+    }
+}
+
+#[test]
+fn bulk_load_queries_match_brute_force() {
+    let points = random_points(20_000, 99, 1000.0);
+    let tree = RTree::bulk_load(points.clone(), RStarParams::paper_default(2));
+    assert_eq!(tree.len(), points.len());
+    tree.validate().expect("valid after bulk load");
+
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..30 {
+        let center = Vector::from([rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0]);
+        let radius = rng.gen::<f64>() * 120.0;
+        let mut got: Vec<usize> = tree
+            .query_ball(&center, radius)
+            .iter()
+            .map(|(_, id)| **id)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_force_ball(&points, &center, radius));
+    }
+}
+
+#[test]
+fn bulk_load_equals_incremental_results() {
+    let points = random_points(3_000, 5, 500.0);
+    let bulk = RTree::bulk_load(points.clone(), RStarParams::new(16));
+    let mut incr: RTree<2, usize> = RTree::with_params(RStarParams::new(16));
+    for (p, id) in &points {
+        incr.insert(*p, *id);
+    }
+    let rect = Rect::centered(&Vector::from([250.0, 250.0]), &Vector::from([100.0, 60.0]));
+    let mut a: Vec<usize> = bulk.query_rect(&rect).iter().map(|(_, id)| **id).collect();
+    let mut b: Vec<usize> = incr.query_rect(&rect).iter().map(|(_, id)| **id).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn knn_matches_brute_force() {
+    let points = random_points(4_000, 17, 1000.0);
+    let tree = RTree::bulk_load(points.clone(), RStarParams::paper_default(2));
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..25 {
+        let center = Vector::from([rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0]);
+        let k = 1 + rng.gen::<usize>() % 40;
+        let got = tree.nearest_neighbors(&center, k);
+        assert_eq!(got.len(), k);
+        // Distances ascending.
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Compare the distance multiset against brute force (ids can tie).
+        let mut brute: Vec<f64> = points.iter().map(|(p, _)| p.distance(&center)).collect();
+        brute.sort_by(f64::total_cmp);
+        for (i, (dist, _, _)) in got.iter().enumerate() {
+            assert!(
+                (dist - brute[i]).abs() < 1e-9,
+                "k-NN rank {i}: {dist} vs {}",
+                brute[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_k_larger_than_len() {
+    let points = random_points(10, 1, 100.0);
+    let tree = RTree::bulk_load(points, RStarParams::new(4));
+    let got = tree.nearest_neighbors(&Vector::ZERO, 50);
+    assert_eq!(got.len(), 10);
+}
+
+#[test]
+fn removal_then_queries() {
+    let points = random_points(2_000, 8, 1000.0);
+    let mut tree: RTree<2, usize> = RTree::with_params(RStarParams::new(8));
+    for (p, id) in &points {
+        tree.insert(*p, *id);
+    }
+    // Remove every third point.
+    let mut remaining: Vec<(Vector<2>, usize)> = Vec::new();
+    for (i, (p, id)) in points.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(tree.remove(p, id), "record {id} must exist");
+        } else {
+            remaining.push((*p, *id));
+        }
+    }
+    assert_eq!(tree.len(), remaining.len());
+    tree.validate().expect("valid after removals");
+
+    let center = Vector::from([500.0, 500.0]);
+    let mut got: Vec<usize> = tree
+        .query_ball(&center, 300.0)
+        .iter()
+        .map(|(_, id)| **id)
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, brute_force_ball(&remaining, &center, 300.0));
+
+    // Removing a missing record is a no-op returning false.
+    assert!(!tree.remove(&Vector::from([-1.0, -1.0]), &0));
+}
+
+#[test]
+fn remove_everything_empties_tree() {
+    let points = random_points(500, 21, 100.0);
+    let mut tree: RTree<2, usize> = RTree::with_params(RStarParams::new(6));
+    for (p, id) in &points {
+        tree.insert(*p, *id);
+    }
+    for (p, id) in &points {
+        assert!(tree.remove(p, id));
+    }
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    assert!(tree.validate().is_ok());
+    // Tree remains usable.
+    tree.insert(Vector::from([1.0, 1.0]), 0);
+    assert_eq!(tree.len(), 1);
+}
+
+#[test]
+fn duplicate_points_supported() {
+    let mut tree: RTree<2, u32> = RTree::with_params(RStarParams::new(4));
+    let p = Vector::from([5.0, 5.0]);
+    for i in 0..100 {
+        tree.insert(p, i);
+    }
+    assert_eq!(tree.len(), 100);
+    tree.validate().unwrap();
+    assert_eq!(tree.query_ball(&p, 0.0).len(), 100);
+    // Remove one specific payload.
+    assert!(tree.remove(&p, &42));
+    assert_eq!(tree.len(), 99);
+    assert!(!tree.query_ball(&p, 0.0).iter().any(|(_, d)| **d == 42));
+}
+
+#[test]
+fn iter_visits_every_record() {
+    let points = random_points(1_234, 33, 50.0);
+    let tree = RTree::bulk_load(points.clone(), RStarParams::new(10));
+    let mut ids: Vec<usize> = tree.iter().map(|(_, id)| *id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..1_234).collect::<Vec<_>>());
+}
+
+#[test]
+fn search_stats_accumulate_and_prune() {
+    let points = random_points(10_000, 77, 1000.0);
+    let tree = RTree::bulk_load(points, RStarParams::paper_default(2));
+    let mut stats = SearchStats::default();
+    let small = Rect::centered(&Vector::from([500.0, 500.0]), &Vector::from([10.0, 10.0]));
+    tree.query_rect_visit(&small, &mut stats, |_, _| {});
+    assert!(stats.nodes_visited >= 1);
+    // A tiny query must not visit the whole tree.
+    assert!(
+        stats.nodes_visited < tree.node_count() / 2,
+        "visited {} of {} nodes",
+        stats.nodes_visited,
+        tree.node_count()
+    );
+    let mut full = SearchStats::default();
+    tree.query_rect_visit(&Rect::everything(), &mut full, |_, _| {});
+    assert_eq!(full.results, 10_000);
+    assert_eq!(full.nodes_visited, tree.node_count());
+}
+
+#[test]
+fn tree_stats_report_occupancy() {
+    let points = random_points(10_000, 12, 1000.0);
+    let bulk = RTree::bulk_load(points.clone(), RStarParams::paper_default(2));
+    let stats = bulk.tree_stats();
+    assert_eq!(stats.records, 10_000);
+    assert_eq!(stats.height, bulk.height());
+    assert_eq!(stats.leaf_nodes + stats.internal_nodes, bulk.node_count());
+    // STR packing fills leaves nearly to capacity.
+    assert!(
+        stats.mean_leaf_occupancy > 0.9,
+        "bulk-loaded occupancy {}",
+        stats.mean_leaf_occupancy
+    );
+    // Incremental insertion is sparser but must stay above m/M = 40 %.
+    let mut incr: RTree<2, usize> = RTree::with_params(RStarParams::paper_default(2));
+    for (p, id) in &points {
+        incr.insert(*p, *id);
+    }
+    let istats = incr.tree_stats();
+    assert!(istats.mean_leaf_occupancy >= 0.4);
+    assert!(istats.mean_leaf_occupancy <= stats.mean_leaf_occupancy);
+}
+
+#[test]
+fn height_grows_logarithmically() {
+    let points = random_points(10_000, 2, 1000.0);
+    let tree = RTree::bulk_load(points, RStarParams::paper_default(2));
+    // fanout 25 → 10k records needs 3 levels (25² = 625 < 10k ≤ 25³).
+    assert_eq!(tree.height(), 3);
+}
+
+#[test]
+fn nine_dimensional_tree() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let points: Vec<(Vector<9>, usize)> = (0..2_000)
+        .map(|i| (Vector::from_fn(|_| rng.gen::<f64>() * 10.0), i))
+        .collect();
+    let tree = RTree::bulk_load(points.clone(), RStarParams::paper_default(9));
+    tree.validate().unwrap();
+    let center = points[100].0;
+    let hits = tree.query_ball(&center, 2.0);
+    let brute = points
+        .iter()
+        .filter(|(p, _)| p.distance(&center) <= 2.0)
+        .count();
+    assert_eq!(hits.len(), brute);
+    // k-NN should find the query point itself first at distance 0.
+    let knn = tree.nearest_neighbors(&center, 5);
+    assert_eq!(knn[0].0, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "finite")]
+fn rejects_nan_key() {
+    let mut tree: RTree<2, ()> = RTree::new();
+    tree.insert(Vector::from([f64::NAN, 0.0]), ());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After an arbitrary interleaving of inserts and removes, the tree
+    /// validates and matches a naive set implementation.
+    #[test]
+    fn prop_mutations_preserve_invariants(ops in proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0, proptest::bool::weighted(0.3)),
+        1..200,
+    )) {
+        let mut tree: RTree<2, usize> = RTree::with_params(RStarParams::new(5));
+        let mut shadow: Vec<(Vector<2>, usize)> = Vec::new();
+        for (i, (x, y, is_remove)) in ops.iter().enumerate() {
+            if *is_remove && !shadow.is_empty() {
+                let victim = shadow.swap_remove(i % shadow.len());
+                prop_assert!(tree.remove(&victim.0, &victim.1));
+            } else {
+                let p = Vector::from([*x, *y]);
+                tree.insert(p, i);
+                shadow.push((p, i));
+            }
+        }
+        prop_assert_eq!(tree.len(), shadow.len());
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        // Full-space query returns exactly the shadow contents.
+        let mut got: Vec<usize> = tree.query_rect(&Rect::everything()).iter().map(|(_, id)| **id).collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = shadow.iter().map(|(_, id)| *id).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Ball queries agree with brute force on arbitrary inputs.
+    #[test]
+    fn prop_ball_query_correct(
+        pts in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..150),
+        cx in 0.0f64..50.0,
+        cy in 0.0f64..50.0,
+        radius in 0.0f64..30.0,
+    ) {
+        let points: Vec<(Vector<2>, usize)> = pts.iter().enumerate()
+            .map(|(i, (x, y))| (Vector::from([*x, *y]), i)).collect();
+        let tree = RTree::bulk_load(points.clone(), RStarParams::new(4));
+        let center = Vector::from([cx, cy]);
+        let mut got: Vec<usize> = tree.query_ball(&center, radius).iter().map(|(_, id)| **id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force_ball(&points, &center, radius));
+    }
+}

@@ -1,0 +1,101 @@
+//! Query covariance builders for the experiments.
+
+use gprq_linalg::Matrix;
+
+/// The paper's 2-D query covariance (Eq. 34):
+///
+/// ```text
+/// Σ = γ · [ 7    2√3 ]
+///         [ 2√3   3  ]
+/// ```
+///
+/// whose isodensity contours are ellipses tilted 30° with a 3:1
+/// major-to-minor axis ratio; `γ` scales the positional uncertainty
+/// (γ ∈ {1, 10, 100} in Tables I–II).
+pub fn eq34_covariance(gamma: f64) -> Matrix<2> {
+    assert!(gamma > 0.0, "γ must be positive");
+    let s3 = 3.0f64.sqrt();
+    Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]]).scale(gamma)
+}
+
+/// A general 2-D covariance with principal standard deviations
+/// `(sigma_major, sigma_minor)` and the major axis rotated `angle`
+/// radians from the x-axis — used by the §V-B.3 Σ-shape sweep
+/// ("if we choose a matrix such that its isosurface has a thin
+/// ellipsoidal shape, the difference will increase").
+pub fn rotated_covariance_2d(sigma_major: f64, sigma_minor: f64, angle: f64) -> Matrix<2> {
+    assert!(
+        sigma_major > 0.0 && sigma_minor > 0.0,
+        "standard deviations must be positive"
+    );
+    let (s, c) = angle.sin_cos();
+    let (l1, l2) = (sigma_major * sigma_major, sigma_minor * sigma_minor);
+    // R · diag(λ) · Rᵗ.
+    Matrix::from_rows([
+        [c * c * l1 + s * s * l2, s * c * (l1 - l2)],
+        [s * c * (l1 - l2), s * s * l1 + c * c * l2],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq34_shape() {
+        let m = eq34_covariance(1.0);
+        // Eigenvalues 9 and 1 (3:1 axis ratio in std-dev terms), det 9.
+        let e = m.symmetric_eigen().unwrap();
+        assert!((e.eigenvalues[0] - 9.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-9);
+        // Tilted 30°.
+        let v = e.eigenvector(0);
+        let angle = v[1].atan2(v[0]).abs();
+        let thirty = std::f64::consts::PI / 6.0;
+        assert!(
+            (angle - thirty).abs() < 1e-9 || (angle - (std::f64::consts::PI - thirty)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn eq34_gamma_scales_linearly() {
+        let a = eq34_covariance(1.0);
+        let b = eq34_covariance(100.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((b[(i, j)] - 100.0 * a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_covariance_reproduces_eq34() {
+        // Eq. 34 ≡ major std 3, minor std 1, tilted 30°.
+        let built = rotated_covariance_2d(3.0, 1.0, std::f64::consts::PI / 6.0);
+        let paper = eq34_covariance(1.0);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (built[(i, j)] - paper[(i, j)]).abs() < 1e-9,
+                    "entry ({i},{j}): {} vs {}",
+                    built[(i, j)],
+                    paper[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_covariance_is_spd() {
+        for &(a, b, t) in &[(1.0, 1.0, 0.0), (5.0, 0.5, 1.1), (10.0, 1.0, -0.7)] {
+            let m = rotated_covariance_2d(a, b, t);
+            assert!(m.cholesky().is_ok(), "({a}, {b}, {t})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_gamma() {
+        eq34_covariance(0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Pseudo-relevance-feedback covariance construction (paper Eq. 35).
+//!
+//! Experiment II's scenario: a user supplies sample images (simulated by
+//! the k-NN of a randomly chosen object, k = 20 including the query
+//! itself); the system estimates the user's interest region as a Gaussian
+//! whose covariance blends the sample covariance with the Euclidean
+//! metric:
+//!
+//! ```text
+//! Σ = Σ̃ + κ·I,     κ = |Σ̃|^{1/d}
+//! ```
+//!
+//! The κ·I term is "a normalization factor … for avoiding overfitting due
+//! to a small number of sample objects"; the choice `κ = |Σ̃|^{1/d}`
+//! makes `|Σ̃| = |κI|`, blending "the sample-based and the Euclidean
+//! distance-based approaches with the same importance".
+
+use gprq_linalg::{Matrix, Vector};
+
+/// Builds the Eq. 35 covariance from feedback samples.
+///
+/// `samples` are the k-NN vectors (the paper uses k = 20, query
+/// included). The sample covariance Σ̃ uses the maximum-likelihood
+/// normalization (divide by k).
+///
+/// When Σ̃ is singular or near-singular (fewer than `d + 1` distinct
+/// samples), `|Σ̃|^{1/d}` collapses toward zero and Σ would stay
+/// degenerate; a floor of `10⁻⁹ · trace(Σ̃)/d + 10⁻¹²` keeps the result
+/// positive-definite in that edge case without measurably changing
+/// well-conditioned inputs.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn pseudo_feedback_covariance<const D: usize>(samples: &[Vector<D>]) -> Matrix<D> {
+    assert!(!samples.is_empty(), "need at least one feedback sample");
+    let k = samples.len() as f64;
+    let mean = samples.iter().fold(Vector::<D>::ZERO, |acc, s| acc + *s) * (1.0 / k);
+    let mut sigma_tilde = Matrix::<D>::ZERO;
+    for s in samples {
+        let d = *s - mean;
+        for i in 0..D {
+            for j in 0..D {
+                sigma_tilde[(i, j)] += d[i] * d[j];
+            }
+        }
+    }
+    sigma_tilde = sigma_tilde.scale(1.0 / k);
+
+    let det = sigma_tilde.determinant().max(0.0);
+    let kappa_paper = det.powf(1.0 / D as f64);
+    let floor = 1e-9 * sigma_tilde.trace() / D as f64 + 1e-12;
+    let kappa = kappa_paper.max(floor);
+
+    let mut sigma = sigma_tilde;
+    for i in 0..D {
+        sigma[(i, i)] += kappa;
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gaussian_cloud(n: usize, stds: [f64; 3], seed: u64) -> Vec<Vector<3>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sn = gprq_gaussian::StandardNormal::new();
+        (0..n)
+            .map(|_| Vector::from_fn(|i| sn.sample(&mut rng) * stds[i] + rng.gen::<f64>() * 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_diagonal_structure() {
+        let samples = gaussian_cloud(5_000, [3.0, 1.0, 0.5], 1);
+        let sigma = pseudo_feedback_covariance(&samples);
+        // κ = |Σ̃|^{1/3} ≈ (9·1·0.25)^{1/3} ≈ 1.31 is added to each
+        // diagonal entry.
+        let kappa = (9.0f64 * 1.0 * 0.25).powf(1.0 / 3.0);
+        assert!(
+            (sigma[(0, 0)] - (9.0 + kappa)).abs() < 0.6,
+            "{}",
+            sigma[(0, 0)]
+        );
+        assert!((sigma[(1, 1)] - (1.0 + kappa)).abs() < 0.3);
+        assert!((sigma[(2, 2)] - (0.25 + kappa)).abs() < 0.2);
+        // Off-diagonals near zero.
+        assert!(sigma[(0, 1)].abs() < 0.3);
+    }
+
+    #[test]
+    fn result_is_always_spd() {
+        // Even with degenerate samples (all identical) the floor keeps
+        // the matrix positive-definite.
+        let identical = vec![Vector::from([1.0, 2.0, 3.0]); 20];
+        let sigma = pseudo_feedback_covariance(&identical);
+        assert!(sigma.cholesky().is_ok());
+        // Collinear samples (rank 1).
+        let collinear: Vec<Vector<3>> = (0..20)
+            .map(|i| Vector::from([i as f64, 2.0 * i as f64, 3.0 * i as f64]))
+            .collect();
+        assert!(pseudo_feedback_covariance(&collinear).cholesky().is_ok());
+    }
+
+    #[test]
+    fn kappa_balances_determinants() {
+        // Paper's design goal: |Σ̃| = |κI| when Σ̃ is well-conditioned.
+        let samples = gaussian_cloud(10_000, [2.0, 1.5, 1.0], 3);
+        let k = samples.len() as f64;
+        let mean = samples.iter().fold(Vector::<3>::ZERO, |a, s| a + *s) * (1.0 / k);
+        let mut tilde = Matrix::<3>::ZERO;
+        for s in &samples {
+            let d = *s - mean;
+            for i in 0..3 {
+                for j in 0..3 {
+                    tilde[(i, j)] += d[i] * d[j];
+                }
+            }
+        }
+        tilde = tilde.scale(1.0 / k);
+        let kappa = tilde.determinant().powf(1.0 / 3.0);
+        let kappa_eye_det = kappa.powi(3);
+        assert!(
+            (tilde.determinant() - kappa_eye_det).abs() < 1e-9 * tilde.determinant(),
+            "determinant balance broken"
+        );
+    }
+
+    #[test]
+    fn narrow_neighborhoods_give_narrow_gaussians() {
+        // The §VI-B phenomenon: k-NN samples from a thin cluster produce
+        // a large λ⊥/λ∥ ratio for Σ = Σ̃ + κI.
+        let samples = gaussian_cloud(20, [5.0, 0.2, 0.2], 5);
+        let sigma = pseudo_feedback_covariance(&samples);
+        let eig = sigma.symmetric_eigen().unwrap();
+        let ratio = eig.max_eigenvalue() / eig.min_eigenvalue();
+        assert!(ratio > 3.0, "condition number {ratio} not narrow");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_samples() {
+        pseudo_feedback_covariance::<3>(&[]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # gprq-workloads
+//!
+//! Synthetic workload generators standing in for the paper's two
+//! experimental datasets, plus the query-parameter builders of §V–§VI:
+//!
+//! * [`road_network`] — a substitute for the TIGER Long Beach road
+//!   dataset (50,747 road-segment midpoints normalized to
+//!   `[0, 1000]²`): a seeded generator producing the same cardinality
+//!   and extent with road-like structure (grid arterials, curved
+//!   secondaries, clustered noise);
+//! * [`corel`] — a substitute for the UCI KDD Corel Color Moments table
+//!   (68,040 nine-dimensional feature vectors): a mixture-of-Gaussians
+//!   generator with anisotropic, correlated components;
+//! * [`covariance`] — the paper's query covariance builders, including
+//!   Eq. 34's tilted 3:1 ellipse scaled by γ;
+//! * [`feedback`] — the pseudo-relevance-feedback covariance of Eq. 35
+//!   (`Σ = Σ̃ + κI`, `κ = |Σ̃|^{1/d}`) built from k-NN samples;
+//! * [`queries`] — random query-center selection as in §V-A ("we selected
+//!   one target object randomly as the query center").
+//!
+//! Both dataset generators are deterministic under a seed, so every
+//! experiment in `gprq-bench` is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corel;
+pub mod covariance;
+pub mod feedback;
+pub mod queries;
+pub mod road_network;
+pub mod synthetic;
+pub mod trajectory;
+
+pub use corel::corel_like_9d;
+pub use covariance::{eq34_covariance, rotated_covariance_2d};
+pub use feedback::pseudo_feedback_covariance;
+pub use queries::random_query_centers;
+pub use road_network::road_network_2d;
+pub use trajectory::{simulate_trajectory, Pose, TrajectoryModel};
+
+/// Cardinality of the paper's 2-D dataset (§V-A).
+pub const ROAD_NETWORK_SIZE: usize = 50_747;
+/// Cardinality of the paper's 9-D dataset (§VI-A).
+pub const COREL_SIZE: usize = 68_040;

@@ -1,0 +1,78 @@
+//! Query-workload builders.
+
+use gprq_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Selects `trials` random objects of `data` to serve as query centers
+/// (paper §V-A: "we selected one target object randomly as the query
+/// center then issued a probabilistic range query. The averaged time of
+/// five query trials was used"). Indices may repeat only if
+/// `trials > data.len()`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn random_query_centers<const D: usize>(
+    data: &[Vector<D>],
+    trials: usize,
+    seed: u64,
+) -> Vec<(usize, Vector<D>)> {
+    assert!(!data.is_empty(), "cannot draw query centers from no data");
+    let mut rng = StdRng::seed_from_u64(seed);
+    if trials >= data.len() {
+        return data.iter().copied().enumerate().collect();
+    }
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < trials {
+        chosen.insert(rng.gen_range(0..data.len()));
+    }
+    chosen.into_iter().map(|i| (i, data[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<Vector<2>> {
+        (0..n).map(|i| Vector::from([i as f64, 0.0])).collect()
+    }
+
+    #[test]
+    fn draws_distinct_centers_from_data() {
+        let d = data(100);
+        let centers = random_query_centers(&d, 5, 42);
+        assert_eq!(centers.len(), 5);
+        let mut seen = std::collections::BTreeSet::new();
+        for (idx, p) in &centers {
+            assert_eq!(d[*idx], *p);
+            assert!(seen.insert(*idx), "duplicate index {idx}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = data(1000);
+        assert_eq!(
+            random_query_centers(&d, 10, 7),
+            random_query_centers(&d, 10, 7)
+        );
+        assert_ne!(
+            random_query_centers(&d, 10, 7),
+            random_query_centers(&d, 10, 8)
+        );
+    }
+
+    #[test]
+    fn trials_exceeding_data_returns_everything() {
+        let d = data(4);
+        let centers = random_query_centers(&d, 10, 1);
+        assert_eq!(centers.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn rejects_empty_data() {
+        random_query_centers::<2>(&[], 1, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Road-network-like 2-D point generator — the TIGER Long Beach
+//! substitute.
+//!
+//! The paper extracts the midpoint of each of 50,747 road line segments
+//! of Long Beach, CA, normalized to `[0, 1000]²` (§V-A). The experiments
+//! depend on three properties of that data: its cardinality, its extent,
+//! and its *non-uniform, locally linear* clustering (points lie along
+//! streets, denser downtown). This generator reproduces those
+//! properties:
+//!
+//! * a Manhattan-style grid of arterial streets with jittered spacing —
+//!   segment midpoints are laid densely along each street;
+//! * a set of longer diagonal/curved roads crossing the grid;
+//! * cluster noise around a few "downtown" hot spots;
+//!
+//! with density modulated by distance to the densest hot spot, and the
+//! exact requested cardinality. All randomness is seeded.
+
+use gprq_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extent of the normalized space (the paper's `[0, 1000]²`).
+pub const EXTENT: f64 = 1000.0;
+
+/// Generates `n` road-midpoint-like points in `[0, 1000]²`.
+///
+/// Deterministic under `seed`. Use `n = `[`crate::ROAD_NETWORK_SIZE`]
+/// for the paper's cardinality.
+pub fn road_network_2d(n: usize, seed: u64) -> Vec<Vector<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n);
+
+    // Downtown hot spots: density centers.
+    let hotspots: Vec<(f64, f64, f64)> = vec![
+        (350.0, 420.0, 280.0), // (x, y, influence radius)
+        (700.0, 650.0, 200.0),
+        (180.0, 780.0, 150.0),
+    ];
+    let density_at = |x: f64, y: f64| -> f64 {
+        let mut d = 0.15; // base suburban density
+        for &(hx, hy, r) in &hotspots {
+            let dist2 = (x - hx) * (x - hx) + (y - hy) * (y - hy);
+            d += (-dist2 / (2.0 * r * r)).exp();
+        }
+        d
+    };
+
+    // 1) Grid arterials: ~55 streets per axis with jittered spacing.
+    let streets_per_axis = 55;
+    let mut verticals = Vec::with_capacity(streets_per_axis);
+    let mut horizontals = Vec::with_capacity(streets_per_axis);
+    for i in 0..streets_per_axis {
+        let base = (i as f64 + 0.5) / streets_per_axis as f64 * EXTENT;
+        verticals.push(base + rng.gen_range(-6.0..6.0));
+        horizontals.push(base + rng.gen_range(-6.0..6.0));
+    }
+
+    // Allocate ~70 % of the points to grid streets (block-length segments
+    // give midpoints spaced ~15–40 units along a street), thinned by the
+    // density field.
+    let grid_budget = n * 7 / 10;
+    while points.len() < grid_budget {
+        let along = rng.gen::<f64>() * EXTENT;
+        let (x, y) = if rng.gen::<bool>() {
+            let v = verticals[rng.gen_range(0..streets_per_axis)];
+            (v + rng.gen_range(-1.5..1.5), along)
+        } else {
+            let h = horizontals[rng.gen_range(0..streets_per_axis)];
+            (along, h + rng.gen_range(-1.5..1.5))
+        };
+        // Rejection-sample against the density field (max ≈ 1.3).
+        if rng.gen::<f64>() * 1.3 < density_at(x, y) {
+            points.push(clamp_point(x, y));
+        }
+    }
+
+    // 2) Diagonal / curved connector roads: ~20 % of points.
+    let connector_budget = n * 9 / 10;
+    let n_roads = 24;
+    let roads: Vec<(f64, f64, f64, f64, f64)> = (0..n_roads)
+        .map(|_| {
+            // Start point, heading, curvature, length.
+            (
+                rng.gen::<f64>() * EXTENT,
+                rng.gen::<f64>() * EXTENT,
+                rng.gen::<f64>() * std::f64::consts::TAU,
+                rng.gen_range(-0.002..0.002),
+                rng.gen_range(300.0..1200.0),
+            )
+        })
+        .collect();
+    while points.len() < connector_budget {
+        let &(x0, y0, heading, curvature, length) = &roads[rng.gen_range(0..n_roads)];
+        let t = rng.gen::<f64>() * length;
+        let angle = heading + curvature * t;
+        let x = x0 + t * angle.cos() + rng.gen_range(-1.5..1.5);
+        let y = y0 + t * angle.sin() + rng.gen_range(-1.5..1.5);
+        if (0.0..=EXTENT).contains(&x) && (0.0..=EXTENT).contains(&y) {
+            points.push(clamp_point(x, y));
+        }
+    }
+
+    // 3) Cluster noise around hot spots (cul-de-sacs, parking aisles).
+    while points.len() < n {
+        let &(hx, hy, r) = &hotspots[rng.gen_range(0..hotspots.len())];
+        let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+        let radius = r * rng.gen::<f64>().sqrt();
+        let x = hx + radius * angle.cos();
+        let y = hy + radius * angle.sin();
+        points.push(clamp_point(x, y));
+    }
+
+    debug_assert_eq!(points.len(), n);
+    points
+}
+
+fn clamp_point(x: f64, y: f64) -> Vector<2> {
+    Vector::from([x.clamp(0.0, EXTENT), y.clamp(0.0, EXTENT)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_cardinality_and_extent() {
+        let pts = road_network_2d(crate::ROAD_NETWORK_SIZE, 1);
+        assert_eq!(pts.len(), 50_747);
+        for p in &pts {
+            assert!((0.0..=EXTENT).contains(&p[0]));
+            assert!((0.0..=EXTENT).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = road_network_2d(1_000, 7);
+        let b = road_network_2d(1_000, 7);
+        assert_eq!(a, b);
+        let c = road_network_2d(1_000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn non_uniform_density() {
+        // Density near the main hotspot must clearly exceed a far corner.
+        let pts = road_network_2d(50_747, 1);
+        let count_near = |cx: f64, cy: f64| {
+            pts.iter()
+                .filter(|p| (p[0] - cx).abs() < 50.0 && (p[1] - cy).abs() < 50.0)
+                .count()
+        };
+        let downtown = count_near(350.0, 420.0);
+        let corner = count_near(950.0, 50.0);
+        assert!(
+            downtown > corner * 3,
+            "downtown {downtown} vs corner {corner}"
+        );
+    }
+
+    #[test]
+    fn locally_linear_structure() {
+        // Road data has many points sharing (nearly) an x or y
+        // coordinate (grid streets). Count points within 2 units of the
+        // busiest vertical line; uniform data of the same size would put
+        // ~0.2 % there, roads put several times that.
+        let pts = road_network_2d(50_747, 1);
+        let mut histogram = vec![0usize; 1000];
+        for p in &pts {
+            histogram[(p[0].min(999.9) as usize).min(999)] += 1;
+        }
+        let max_column = histogram.iter().copied().max().unwrap();
+        let uniform_expected = pts.len() / 1000;
+        // Uniform data would put ~50 ± 7 in every column; street-aligned
+        // data concentrates several-fold more in the busiest column.
+        assert!(
+            max_column > uniform_expected * 3,
+            "max column {max_column} vs uniform {uniform_expected}"
+        );
+    }
+
+    #[test]
+    fn small_n_works() {
+        assert_eq!(road_network_2d(10, 3).len(), 10);
+        assert!(road_network_2d(0, 3).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Moving-object trajectory simulation with localization uncertainty —
+//! the query workload of the paper's motivating scenario (§I, Example 1
+//! and Fig. 1: a robot whose pose estimate is a Gaussian that drifts
+//! between fixes).
+//!
+//! The model is deliberately the textbook dead-reckoning one
+//! (Thrun et al., *Probabilistic Robotics*, which the paper cites for
+//! localization): between absolute position fixes, odometry noise grows
+//! the pose covariance anisotropically — faster along the direction of
+//! travel than across it — and a fix collapses it back to the sensor
+//! accuracy.
+
+use crate::covariance::rotated_covariance_2d;
+use gprq_linalg::{Matrix, Vector};
+
+/// One pose estimate along a trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct Pose {
+    /// Time stamp (seconds from start).
+    pub time: f64,
+    /// Estimated position (mean of the belief distribution).
+    pub mean: Vector<2>,
+    /// Belief covariance.
+    pub covariance: Matrix<2>,
+    /// Heading (radians) at this pose.
+    pub heading: f64,
+}
+
+/// Parameters of the dead-reckoning uncertainty model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryModel {
+    /// Distance traveled per step.
+    pub step_length: f64,
+    /// Heading change per step (constant-curvature path).
+    pub turn_rate: f64,
+    /// Positional std-dev right after a fix.
+    pub fix_accuracy: f64,
+    /// Std-dev growth per step along the direction of travel.
+    pub along_track_drift: f64,
+    /// Ratio of cross-track to along-track drift (odometry slips more
+    /// in the direction of motion; typically < 1).
+    pub cross_track_ratio: f64,
+    /// A position fix arrives every this many steps (`0` = never).
+    pub fix_interval: usize,
+}
+
+impl Default for TrajectoryModel {
+    fn default() -> Self {
+        TrajectoryModel {
+            step_length: 35.0,
+            turn_rate: 0.12,
+            fix_accuracy: 2.0,
+            along_track_drift: 4.5,
+            cross_track_ratio: 1.0 / 3.0,
+            fix_interval: 8,
+        }
+    }
+}
+
+/// Simulates `steps` poses starting from `start` with heading
+/// `initial_heading`. Deterministic (the *means* follow the nominal
+/// path; uncertainty lives in the covariances — exactly how a filter's
+/// belief evolves in expectation).
+pub fn simulate_trajectory(
+    model: &TrajectoryModel,
+    start: Vector<2>,
+    initial_heading: f64,
+    steps: usize,
+    dt: f64,
+) -> Vec<Pose> {
+    let mut poses = Vec::with_capacity(steps);
+    let mut position = start;
+    let mut heading = initial_heading;
+    let mut along_sigma = model.fix_accuracy;
+    for step in 0..steps {
+        heading += model.turn_rate;
+        position += Vector::from([
+            model.step_length * heading.cos(),
+            model.step_length * heading.sin(),
+        ]);
+        along_sigma += model.along_track_drift;
+        if model.fix_interval > 0 && (step + 1) % model.fix_interval == 0 {
+            along_sigma = model.fix_accuracy;
+        }
+        let cross_sigma = (along_sigma * model.cross_track_ratio).max(model.fix_accuracy * 0.5);
+        poses.push(Pose {
+            time: (step + 1) as f64 * dt,
+            mean: position,
+            covariance: rotated_covariance_2d(along_sigma, cross_sigma, heading),
+            heading,
+        });
+    }
+    poses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_steps() {
+        let poses = simulate_trajectory(&TrajectoryModel::default(), Vector::ZERO, 0.0, 24, 5.0);
+        assert_eq!(poses.len(), 24);
+        assert!((poses[0].time - 5.0).abs() < 1e-12);
+        assert!((poses[23].time - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariances_are_spd_and_grow_between_fixes() {
+        let model = TrajectoryModel::default();
+        let poses = simulate_trajectory(&model, Vector::ZERO, 0.3, 16, 1.0);
+        for p in &poses {
+            assert!(p.covariance.cholesky().is_ok(), "non-SPD at t = {}", p.time);
+        }
+        // Uncertainty (trace) grows within a fix interval…
+        let tr = |i: usize| poses[i].covariance.trace();
+        assert!(tr(1) > tr(0) * 0.99 && tr(5) > tr(1));
+        // …and collapses at the fix (steps 7 → index 7 is the fix step).
+        assert!(tr(7) < tr(6), "fix should collapse uncertainty");
+    }
+
+    #[test]
+    fn uncertainty_is_anisotropic_along_heading() {
+        let model = TrajectoryModel {
+            fix_interval: 0,
+            ..TrajectoryModel::default()
+        };
+        let poses = simulate_trajectory(&model, Vector::ZERO, 0.0, 10, 1.0);
+        let last = poses.last().unwrap();
+        let eig = last.covariance.symmetric_eigen().unwrap();
+        // Major axis ≈ heading direction.
+        let major = eig.eigenvector(0);
+        let h = Vector::from([last.heading.cos(), last.heading.sin()]);
+        assert!(major.dot(&h).abs() > 0.99, "major axis misaligned");
+        // Strong anisotropy (ratio of std-devs ≈ 3).
+        let ratio = (eig.eigenvalues[0] / eig.eigenvalues[1]).sqrt();
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_fix_means_monotone_growth() {
+        let model = TrajectoryModel {
+            fix_interval: 0,
+            ..TrajectoryModel::default()
+        };
+        let poses = simulate_trajectory(&model, Vector::ZERO, 0.0, 12, 1.0);
+        for w in poses.windows(2) {
+            assert!(w[1].covariance.trace() > w[0].covariance.trace());
+        }
+    }
+
+    #[test]
+    fn path_follows_constant_curvature() {
+        let model = TrajectoryModel::default();
+        let poses = simulate_trajectory(&model, Vector::ZERO, 0.0, 3, 1.0);
+        // Step lengths are constant.
+        let d01 = poses[0].mean.distance(&poses[1].mean);
+        let d12 = poses[1].mean.distance(&poses[2].mean);
+        assert!((d01 - d12).abs() < 1e-9);
+        assert!((d01 - model.step_length).abs() < 1e-9);
+    }
+}

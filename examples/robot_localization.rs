@@ -1,0 +1,72 @@
+//! Moving-robot localization — the paper's motivating Example 1.
+//!
+//! A robot navigates a mapped space. Its pose estimate comes from
+//! probabilistic localization and is a Gaussian whose covariance grows
+//! between position fixes and shrinks when a landmark is observed. At
+//! each step the robot asks: *"which charging beacons are within 10
+//! meters of me, with at least 30 % certainty?"* — a probabilistic range
+//! query with the robot as the imprecise query object.
+//!
+//! ```text
+//! cargo run --release --example robot_localization
+//! ```
+
+use gaussian_prq::prelude::*;
+use gaussian_prq::workloads::{simulate_trajectory, TrajectoryModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Charging beacons scattered over the operating area.
+    let mut beacons: Vec<(Vector<2>, usize)> = Vec::new();
+    let mut x = 17.0;
+    for i in 0..400 {
+        // Low-discrepancy-ish scatter.
+        x = (x * 1.618_033_988_749) % 1.0e3;
+        let y = ((i as f64 * 379.0) % 997.0) * 1.002;
+        beacons.push((Vector::from([x, y]), i));
+    }
+    let tree = RTree::bulk_load(beacons, RStarParams::paper_default(2));
+    println!("map holds {} charging beacons", tree.len());
+
+    let delta = 60.0; // beacon reachable within 60 m
+    let theta = 0.3; // want 30 % certainty
+    let mut evaluator = MonteCarloEvaluator::new(50_000, 2026);
+    let executor = PrqExecutor::new(StrategySet::ALL);
+
+    // Dead-reckoning uncertainty model: odometry drift grows the pose
+    // covariance along the heading; a landmark fix every 8 steps
+    // collapses it (paper Fig. 1's growing/shrinking ellipses).
+    let model = TrajectoryModel {
+        along_track_drift: 4.5,
+        fix_interval: 8,
+        ..TrajectoryModel::default()
+    };
+    let trajectory = simulate_trajectory(&model, Vector::from([50.0, 400.0]), 0.3, 24, 5.0);
+
+    println!("\n  t(s) |       pose estimate        | unc(m) | reachable beacons (p ≥ 30%)");
+    println!("-------+----------------------------+--------+-----------------------------");
+    for pose in trajectory {
+        let query = PrqQuery::new(pose.mean, pose.covariance, delta, theta)?;
+        let outcome = executor.execute(&tree, &query, &mut evaluator)?;
+        let spread = pose.covariance.trace().sqrt();
+        let mut ids: Vec<usize> = outcome.answers.iter().map(|(_, id)| **id).collect();
+        ids.sort_unstable();
+        println!(
+            "{:6.0} | ({:7.1}, {:7.1})         | {:6.1} | {} found, {} integrations: {:?}",
+            pose.time,
+            pose.mean[0],
+            pose.mean[1],
+            spread,
+            ids.len(),
+            outcome.stats.integrations,
+            &ids[..ids.len().min(6)],
+        );
+    }
+
+    // The punchline of the paper's Example 1: higher pose uncertainty
+    // (larger Σ) changes which beacons pass the probability threshold —
+    // a certainty-unaware range query would keep returning the same set.
+    println!("\nWith growing pose uncertainty the certain answer set shrinks even");
+    println!("though the nominal position barely moves — exactly why range");
+    println!("queries must be probability-aware under imprecise localization.");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations.
+# Usage: scripts/run_all_experiments.sh [extra flags passed to every binary]
+# Fast smoke run: scripts/run_all_experiments.sh --n 10000 --trials 2 --samples 5000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLAGS=("$@")
+for bin in fig17 fig13_16 table2 table3 sensitivity scaling dims table1 ablation; do
+    echo "==================================================================="
+    echo "### $bin"
+    echo "==================================================================="
+    cargo run -p gprq-bench --release --bin "$bin" -- ${FLAGS[@]+"${FLAGS[@]}"}
+    echo
+done
