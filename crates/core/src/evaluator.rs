@@ -102,13 +102,11 @@ impl<const D: usize> ProbabilityEvaluator<D> for SharedSamplesEvaluator<D> {
     }
 
     fn probability(&mut self, gaussian: &Gaussian<D>, center: &Vector<D>, delta: f64) -> f64 {
-        if self.batch.is_none() {
-            // Direct use without begin_query: build the batch now.
-            self.begin_query(gaussian);
-        }
+        // Direct use without begin_query: build the batch now.
+        let samples = self.samples;
+        let rng = &mut self.rng;
         self.batch
-            .as_ref()
-            .expect("batch built above")
+            .get_or_insert_with(|| SharedSampleEvaluator::new(gaussian, samples, rng))
             .probability(center, delta)
     }
 }

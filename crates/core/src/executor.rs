@@ -175,22 +175,17 @@ impl<'c> PrqExecutor<'c> {
         } else {
             None
         };
-        let rr_filter: Option<RrFilter<D>> = if self.strategies.rr {
-            Some(RrFilter::new(
-                query,
-                region.clone().expect("region built when rr is set"),
-                self.fringe_mode,
-            ))
-        } else {
-            None
-        };
-        let or_filter: Option<OrFilter<D>> = if self.strategies.or {
-            Some(OrFilter::new(
-                query,
-                region.as_ref().expect("region built when or is set"),
-            ))
-        } else {
-            None
+        // Binding the filters under one `match` ties their construction
+        // to the region's existence: `region` is `Some` exactly when
+        // `rr || or`, so neither arm can observe a missing region.
+        let (rr_filter, or_filter): (Option<RrFilter<D>>, Option<OrFilter<D>>) = match &region {
+            Some(reg) => (
+                self.strategies
+                    .rr
+                    .then(|| RrFilter::new(query, reg.clone(), self.fringe_mode)),
+                self.strategies.or.then(|| OrFilter::new(query, reg)),
+            ),
+            None => (None, None),
         };
         let bf_bounds: Option<BfBounds<D>> = if self.strategies.bf {
             Some(match self.bf_catalog {
@@ -203,12 +198,14 @@ impl<'c> PrqExecutor<'c> {
 
         // --- Phase 1: index-based search. ------------------------------
         let t0 = Instant::now();
-        let search_rect = if let Some(rr) = &rr_filter {
-            Some(rr.search_rect())
-        } else {
-            // BF is the primary (Algorithm 2, line 6). A `None` here is
-            // the provably-empty case.
-            bf_bounds.as_ref().expect("validated").search_rect()
+        let search_rect = match (&rr_filter, &bf_bounds) {
+            (Some(rr), _) => Some(rr.search_rect()),
+            // BF is the primary (Algorithm 2, line 6). A `None` rect here
+            // is the provably-empty case.
+            (None, Some(bf)) => bf.search_rect(),
+            // `validate()` guarantees RR or BF is enabled; surfaced as an
+            // error rather than a panic per the panic-free audit rule.
+            (None, None) => return Err(PrqError::NoPrimaryStrategy),
         };
         let mut candidates: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
         if let Some(rect) = search_rect {

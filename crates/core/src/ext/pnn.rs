@@ -80,9 +80,10 @@ where
         // Termination: can anything at this distance (or farther) beat
         // the current k-th probability?
         if top.len() == k {
-            let kth = top.last().expect("k > 0").probability;
-            if probability_upper_bound(query, dist) < kth {
-                break;
+            if let Some(kth) = top.last() {
+                if probability_upper_bound(query, dist) < kth.probability {
+                    break;
+                }
             }
         }
         stats.integrations += 1;

@@ -51,6 +51,10 @@ impl<const D: usize> ThetaRegion<D> {
     /// Builds the region from an externally supplied `r_θ` (e.g. a
     /// conservative U-catalog lookup). The radius must over-cover:
     /// `r ≥ chi_inverse(d, 1 − 2θ)` keeps filtering safe.
+    // INVARIANT: the caller's r_θ must satisfy r_θ ≥ chi_inverse(D, 1−2θ)
+    // (catalog lookups guarantee this by rounding θ down); the resulting
+    // ellipsoid then contains ≥ 1−2θ of the query mass, which Property 1
+    // needs for RR/OR pruning to be lossless.
     pub fn with_r_theta(query: &PrqQuery<D>, r_theta: f64) -> Result<Self, PrqError> {
         // Negated form on purpose: a NaN θ must take the error branch.
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -102,6 +106,9 @@ impl<const D: usize> ThetaRegion<D> {
 /// # Errors
 ///
 /// [`PrqError::ThetaRegionUndefined`] when `θ ≥ 1/2`.
+// INVARIANT: chi_inverse is evaluated at exactly 1 − 2θ (never rounded
+// up), so the radius is the tightest value for which the θ-region
+// argument (Definition 5) holds — any smaller radius would under-cover.
 pub fn r_theta_exact<const D: usize>(theta: f64) -> Result<f64, PrqError> {
     if !(theta > 0.0 && theta < 0.5) {
         return Err(PrqError::ThetaRegionUndefined(theta));

@@ -95,6 +95,9 @@ impl RrCatalog {
     /// Returns `None` when `θ` is below the smallest grid value (every
     /// tabulated radius would *under*-cover — unsafe); callers fall back
     /// to the exact inverse.
+    // INVARIANT: rounds θ *down* to a tabulated θ* ≤ θ; r(θ) is
+    // decreasing, so the returned r_θ* ≥ r_θ always over-covers the exact
+    // θ-region — RR pruning against it never drops a true answer.
     pub fn lookup(&self, theta: f64) -> Option<f64> {
         let idx = self.entries.partition_point(|(t, _)| *t <= theta);
         if idx == 0 {
@@ -187,6 +190,9 @@ impl BfCatalog {
     /// the entry at the smallest tabulated `δ* ≥ δ` and largest `θ* ≤ θ`.
     /// Both adjustments only increase `α`, so the returned radius rejects
     /// no object the exact bound would keep.
+    // INVARIANT: snaps to δ* ≥ δ and θ* ≤ θ; α is increasing in δ and
+    // decreasing in θ, so the returned α(δ*, θ*) ≥ α(δ, θ) — objects
+    // beyond it provably have Pr < θ, and rejection is always safe.
     pub fn lookup_reject(&self, delta: f64, theta: f64) -> CatalogLookup {
         let i = self.deltas.partition_point(|d| *d < delta);
         if i == self.deltas.len() {
@@ -209,6 +215,9 @@ impl BfCatalog {
     /// the entry at the largest tabulated `δ* ≤ δ` and smallest `θ* ≥ θ`.
     /// Both adjustments only decrease `α`, so every object accepted via
     /// the returned radius is a true answer.
+    // INVARIANT: snaps to δ* ≤ δ and θ* ≥ θ; the returned α(δ*, θ*) ≤
+    // α(δ, θ), so any object within it provably has Pr ≥ θ — acceptance
+    // without integration is always sound.
     pub fn lookup_accept(&self, delta: f64, theta: f64) -> CatalogLookup {
         let i = self.deltas.partition_point(|d| *d <= delta);
         if i == 0 {

@@ -77,7 +77,7 @@ impl<const D: usize> SymmetricEigen<D> {
         for (i, o) in order.iter_mut().enumerate() {
             *o = i;
         }
-        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite"));
+        order.sort_by(|&i, &j| a[(j, j)].total_cmp(&a[(i, i)]));
 
         let eigenvalues = Vector::from_fn(|k| a[(order[k], order[k])]);
         let eigenvectors = Matrix::from_fn(|i, k| e[(i, order[k])]);

@@ -49,7 +49,10 @@ impl<const D: usize, T> RTree<D, T> {
                 .map(Node::internal_from_children)
                 .collect();
         }
-        let root = level.pop().expect("non-empty input yields a root");
+        // `len > 0` packed at least one leaf and the loop above only
+        // exits with exactly one node; an empty level would be a packing
+        // bug, degraded to an empty root rather than a panic.
+        let root = level.pop().unwrap_or_else(Node::empty_leaf);
         RTree { root, params, len }
     }
 }

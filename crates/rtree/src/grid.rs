@@ -24,19 +24,27 @@ pub struct UniformGrid<const D: usize, T> {
 }
 
 impl<const D: usize, T> UniformGrid<D, T> {
-    /// Builds a grid with `resolution` cells per axis.
+    /// Builds a grid with `resolution` cells per axis. Resolutions whose
+    /// `resolution^D` cell count would exceed the `2^26` budget are
+    /// clamped down to the finest affordable per-axis resolution (a 9-D
+    /// grid saturates at 7 cells per axis) — the grid is a baseline
+    /// index, and degrading its granularity is preferable to aborting a
+    /// benchmark run.
     ///
     /// # Panics
     ///
-    /// Panics if `resolution == 0`, if `resolution^D` overflows a
-    /// reasonable cell budget (`> 2^26` cells), or if any point is
-    /// non-finite.
+    /// Panics if `resolution == 0` or if any point is non-finite.
     pub fn build(points: Vec<(Vector<D>, T)>, resolution: usize) -> Self {
         assert!(resolution > 0, "resolution must be positive");
-        let cell_count = resolution
-            .checked_pow(D as u32)
-            .filter(|&c| c <= 1 << 26)
-            .unwrap_or_else(|| panic!("grid of {resolution}^{D} cells is too large"));
+        const MAX_CELLS: usize = 1 << 26;
+        let mut resolution = resolution;
+        let cell_count = loop {
+            match resolution.checked_pow(D as u32) {
+                Some(c) if c <= MAX_CELLS => break c,
+                _ if resolution > 1 => resolution -= 1,
+                _ => break 1,
+            }
+        };
         assert!(
             points.iter().all(|(p, _)| p.is_finite()),
             "grid keys must be finite"
@@ -265,10 +273,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn oversized_grid_rejected() {
+    fn oversized_grid_clamps_resolution() {
         let pts: Vec<(Vector<9>, u8)> = vec![(Vector::splat(0.0), 0)];
-        let _ = UniformGrid::build(pts, 64); // 64^9 cells
+        // 64^9 cells requested; the finest 9-D grid within the 2^26 cell
+        // budget is 7 per axis (7^9 ≈ 4.0e7 ≤ 2^26 < 8^9).
+        let grid = UniformGrid::build(pts, 64);
+        assert_eq!(grid.resolution(), 7);
+        assert_eq!(grid.len(), 1);
     }
 
     #[test]

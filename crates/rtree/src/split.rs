@@ -75,7 +75,13 @@ pub(crate) fn rstar_split<const D: usize, I: HasMbr<D>>(
             }
         }
     }
-    let (sort_by_upper, k, _, _) = best.expect("at least one distribution exists");
+    // `n ≥ 2·min_entries` (overflow is what triggered the split), so the
+    // k-loop admits at least one distribution; an empty `best` would be a
+    // parameter-validation bug, degraded to an even split, not a panic.
+    let Some((sort_by_upper, k, _, _)) = best else {
+        let right = items.split_off(n / 2);
+        return Split { left: items, right };
+    };
     sort_items(&mut items, best_axis, sort_by_upper);
     let right = items.split_off(k);
     Split { left: items, right }

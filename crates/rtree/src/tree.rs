@@ -165,7 +165,9 @@ impl<const D: usize, T> RTree<D, T> {
                     break;
                 }
                 1 => {
-                    self.root = self.root.children.pop().expect("len checked");
+                    if let Some(child) = self.root.children.pop() {
+                        self.root = child;
+                    }
                 }
                 _ => break,
             }

@@ -1,0 +1,150 @@
+//! The triaged-exception allowlist.
+//!
+//! Format (one entry per line, `|`-separated, `#` starts a comment):
+//!
+//! ```text
+//! rule-id | path suffix | line fragment | reason
+//! ```
+//!
+//! An entry suppresses a violation when all three match:
+//! * `rule-id` equals the violation's rule,
+//! * the violation's workspace-relative path ends with `path suffix`,
+//! * the violation's source line contains `line fragment`.
+//!
+//! Matching on a code fragment instead of a line number keeps entries
+//! stable across unrelated edits. Every entry must carry a non-empty
+//! reason — the audit rejects reasonless entries. Unused entries are
+//! reported so the list cannot rot.
+
+use crate::rules::Violation;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule the exception applies to.
+    pub rule: String,
+    /// Path suffix the exception applies to.
+    pub path_suffix: String,
+    /// Required substring of the violating source line.
+    pub fragment: String,
+    /// Why the exception is sound.
+    pub reason: String,
+    /// Line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+/// Parses the allowlist; returns entries or a list of format errors.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() != 4 {
+            errors.push(format!(
+                "allowlist line {}: expected `rule | path | fragment | reason`, got `{raw}`",
+                idx + 1
+            ));
+            continue;
+        }
+        if parts.iter().any(|p| p.is_empty()) {
+            errors.push(format!(
+                "allowlist line {}: all four fields (incl. the reason) must be non-empty",
+                idx + 1
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_owned(),
+            path_suffix: parts[1].to_owned(),
+            fragment: parts[2].to_owned(),
+            reason: parts[3].to_owned(),
+            line: idx + 1,
+        });
+    }
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Splits violations into (active, suppressed) and reports which
+/// entries never matched anything.
+pub fn apply(
+    violations: Vec<Violation>,
+    entries: &[AllowEntry],
+) -> (Vec<Violation>, Vec<(Violation, usize)>, Vec<usize>) {
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for v in violations {
+        let hit = entries.iter().position(|e| {
+            e.rule == v.rule && v.path.ends_with(&e.path_suffix) && v.snippet.contains(&e.fragment)
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push((v, i));
+            }
+            None => active.push(v),
+        }
+    }
+    let unused = (0..entries.len()).filter(|&i| !used[i]).collect();
+    (active, suppressed, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn violation(rule: &'static str, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line: 1,
+            snippet: snippet.to_owned(),
+            message: String::new(),
+            severity: Severity::Error,
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_reason() {
+        assert!(parse("float-eq | a.rs | x == 0.0 |").is_err());
+        assert!(parse("float-eq | a.rs | x == 0.0").is_err());
+        assert!(parse("float-eq | a.rs | x == 0.0 | exact zero guard").is_ok());
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let entries = parse("# header\n\nfloat-eq | a.rs | frag | why\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn apply_matches_on_all_three_fields() {
+        let entries = parse("float-eq | gaussian/src/chi.rs | r == 0.0 | boundary").unwrap();
+        let vs = vec![
+            violation("float-eq", "crates/gaussian/src/chi.rs", "if r == 0.0 {"),
+            violation("float-eq", "crates/gaussian/src/chi.rs", "if q == 0.0 {"),
+            violation("panic-free", "crates/gaussian/src/chi.rs", "if r == 0.0 {"),
+        ];
+        let (active, suppressed, unused) = apply(vs, &entries);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(active.len(), 2);
+        assert!(unused.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let entries = parse("panic-free | nowhere.rs | frag | stale").unwrap();
+        let (_, _, unused) = apply(Vec::new(), &entries);
+        assert_eq!(unused, vec![0]);
+    }
+}

@@ -1,0 +1,397 @@
+//! A minimal Rust lexer sufficient for the invariant auditor.
+//!
+//! The offline build environment has no `syn`/`proc-macro2`, so the
+//! auditor tokenizes source itself. The lexer understands everything
+//! needed to avoid false positives from non-code text: line and
+//! (nested) block comments, string/char/byte literals, raw strings with
+//! arbitrary hash fences, lifetimes vs. char literals, and numeric
+//! literals with suffixes. It does **not** build a syntax tree — the
+//! rules in [`crate::rules`] pattern-match on the token stream.
+
+/// Token kinds the auditor distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal with a fractional part, exponent, or float suffix.
+    FloatLit,
+    /// Any other numeric literal.
+    IntLit,
+    /// String / char / byte literal (contents discarded).
+    StrLit,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation; multi-character for `==`, `!=`, `..`, `::`, `->`,
+    /// `=>`, `..=`, `<=`, `>=`, `&&`, `||`.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Token text (empty for string literals).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+/// Tokenizes `source`, discarding comments and literal contents.
+///
+/// The lexer is forgiving: on any construct it does not understand it
+/// advances one character, so a pathological file degrades to noise
+/// tokens rather than a crash — the auditor must never panic on user
+/// source (it is subject to its own rules).
+pub fn lex(source: &str) -> Vec<Tok> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_' || b >= 0x80;
+    let is_ident_cont = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80;
+
+    while i < n {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                // Line comment (incl. doc comments): skip to newline.
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let (next_i, newlines) = skip_raw_string(bytes, i);
+                toks.push(Tok {
+                    kind: TokKind::StrLit,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = next_i;
+            }
+            b'"' => {
+                let (next_i, newlines) = skip_quoted(bytes, i, b'"');
+                toks.push(Tok {
+                    kind: TokKind::StrLit,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = next_i;
+            }
+            b'b' if i + 1 < n && bytes[i + 1] == b'"' => {
+                let (next_i, newlines) = skip_quoted(bytes, i + 1, b'"');
+                toks.push(Tok {
+                    kind: TokKind::StrLit,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = next_i;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // closed by another `'`.
+                if i + 1 < n
+                    && is_ident_start(bytes[i + 1])
+                    && !(i + 2 < n && bytes[i + 2] == b'\'')
+                {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && is_ident_cont(bytes[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: source[start..j].to_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let (next_i, newlines) = skip_quoted(bytes, i, b'\'');
+                    toks.push(Tok {
+                        kind: TokKind::StrLit,
+                        text: String::new(),
+                        line,
+                    });
+                    line += newlines;
+                    i = next_i;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                if c == b'0' && i + 1 < n && matches!(bytes[i + 1], b'x' | b'o' | b'b') {
+                    // Radix literal: digits + underscores + hex letters.
+                    i += 2;
+                    while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    // Fractional part — but `1..x` is int + range and
+                    // `1.method()` is int + field/method access.
+                    if i < n && bytes[i] == b'.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                        is_float = true;
+                        i += 1;
+                        while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    } else if i < n
+                        && bytes[i] == b'.'
+                        && !(i + 1 < n && (bytes[i + 1] == b'.' || is_ident_start(bytes[i + 1])))
+                    {
+                        // Trailing-dot float like `1.`
+                        is_float = true;
+                        i += 1;
+                    }
+                    // Exponent.
+                    if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < n && bytes[j].is_ascii_digit() {
+                            is_float = true;
+                            i = j;
+                            while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+                // Type suffix (f64, u32, usize, ...).
+                let suffix_start = i;
+                while i < n && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                let suffix = &source[suffix_start..i];
+                if suffix.starts_with('f') {
+                    is_float = true;
+                }
+                toks.push(Tok {
+                    kind: if is_float {
+                        TokKind::FloatLit
+                    } else {
+                        TokKind::IntLit
+                    },
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                // Punctuation; join the two/three-character operators the
+                // rules care about. Checked slicing: the next character
+                // may be multi-byte UTF-8 (math symbols in doc strings),
+                // and a mid-character range must read as "no match", not
+                // a panic.
+                let three: &str = source.get(i..i + 3).unwrap_or("");
+                let two: &str = source.get(i..i + 2).unwrap_or("");
+                let taken = if three == "..=" {
+                    3
+                } else if matches!(
+                    two,
+                    "==" | "!=" | ".." | "::" | "->" | "=>" | "<=" | ">=" | "&&" | "||"
+                ) {
+                    2
+                } else {
+                    1
+                };
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: source[i..i + taken].to_owned(),
+                    line,
+                });
+                i += taken;
+            }
+        }
+    }
+    toks
+}
+
+/// Does a raw (byte) string literal start at `i`? (`r"`, `r#`, `br"`, `br#`)
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Skips a raw string starting at `i`; returns (index-after, newline count).
+fn skip_raw_string(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, newlines)
+}
+
+/// Skips a quoted literal with backslash escapes starting at `i` (which
+/// must point at the opening quote); returns (index-after, newline count).
+fn skip_quoted(bytes: &[u8], i: usize, quote: u8) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut newlines = 0;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            c if c == quote => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let toks = kinds("// x.unwrap()\n/* panic!() /* nested */ */ let s = \"thread_rng\"; 'c'");
+        assert!(toks
+            .iter()
+            .all(|(_, t)| t != "unwrap" && t != "panic" && t != "thread_rng"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = kinds(r####"let s = r#"with "quotes" and unwrap()"# ;"####);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("let a = 1.5; let b = 10; for i in 0..9 {} let c = 2e-3; let d = 3f64;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "2e-3", "3f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::IntLit && t == "9"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let toks = kinds("a == b != c .. d ..= e");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "..", "..="]);
+    }
+
+    #[test]
+    fn line_numbers_track_all_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\nlet s = \"x\ny\";\nlet c = 3;";
+        let toks = lex(src);
+        let find = |txt: &str| toks.iter().find(|t| t.text == txt).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+
+    #[test]
+    fn unwrap_or_is_distinct_from_unwrap() {
+        let toks = kinds("x.unwrap_or(0); y.unwrap_or_else(f); z.unwrap();");
+        let unwraps = toks.iter().filter(|(_, t)| t == "unwrap").count();
+        assert_eq!(unwraps, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! # xtask — the workspace invariant auditor
+//!
+//! The paper's filtering strategies (RR/OR/BF, §IV) are only correct if
+//! every filter is *strictly conservative*: a pruned object must
+//! provably have `Pr < θ`. The codebase encodes that contract — and the
+//! panic/determinism hygiene the production pipeline depends on — in
+//! conventions that a reviewer cannot re-verify on every diff. This
+//! crate machine-checks them:
+//!
+//! | rule id             | what it enforces |
+//! |---------------------|------------------|
+//! | `panic-free`        | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code of `linalg`, `gaussian`, `rtree`, `core` outside `#[cfg(test)]` |
+//! | `indexing`          | (warning) heuristic `expr[...]` detection in the same crates — prefer `.get()` |
+//! | `unseeded-rng`      | no `thread_rng`/`from_entropy`/`OsRng` outside `crates/bench` |
+//! | `float-eq`          | no `==`/`!=` against float literals outside tests/allowlist |
+//! | `crate-root-attrs`  | every crate root has `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | `invariant-marker`  | conservative-lookup functions carry `// INVARIANT:` markers, indexed into the report |
+//! | `stale-allowlist`   | allowlist entries that no longer match anything fail the audit |
+//!
+//! Run locally with `cargo xtask audit`; see DESIGN.md §"Invariants &
+//! static analysis" for the allowlist policy.
+//!
+//! The build environment is offline (no `syn`), so the auditor uses its
+//! own minimal lexer ([`lexer`]) and pattern-matches token streams. The
+//! trade-off is documented per rule; fixture self-tests under
+//! `tests/fixtures/` pin the expected behavior of each rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+use report::AuditReport;
+use rules::{RuleSet, Violation};
+use std::path::Path;
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "audit-allowlist.txt";
+
+/// Audits a single file's source under the given rule set, appending
+/// findings. Used by both the workspace audit and the fixture tests.
+pub fn audit_source(
+    rel_path: &str,
+    source: &str,
+    rule_set: RuleSet,
+    is_crate_root: bool,
+    check_invariants: bool,
+    violations: &mut Vec<Violation>,
+    invariants: &mut Vec<rules::InvariantMarker>,
+) {
+    let toks = lexer::lex(source);
+    rules::check_tokens(rel_path, source, &toks, rule_set, violations);
+    if is_crate_root {
+        rules::check_crate_root(rel_path, source, violations);
+    }
+    if check_invariants {
+        rules::check_invariant_markers(rel_path, source, violations);
+    }
+    rules::collect_invariants(rel_path, source, invariants);
+}
+
+/// Runs the full audit over the workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let files = workspace::rust_files(root).map_err(|e| format!("walking workspace: {e}"))?;
+    let mut violations = Vec::new();
+    let mut invariants = Vec::new();
+    for rel in &files {
+        let source =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        audit_source(
+            rel,
+            &source,
+            workspace::classify(rel),
+            workspace::is_crate_root(rel),
+            workspace::INVARIANT_FILES.contains(&rel.as_str()),
+            &mut violations,
+            &mut invariants,
+        );
+    }
+
+    let allowlist_path = root.join(ALLOWLIST_FILE);
+    let allowlist = if allowlist_path.is_file() {
+        let text = std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| format!("reading {ALLOWLIST_FILE}: {e}"))?;
+        allowlist::parse(&text).map_err(|errs| errs.join("\n"))?
+    } else {
+        Vec::new()
+    };
+    let (active, suppressed, unused_allowlist) = allowlist::apply(violations, &allowlist);
+
+    Ok(AuditReport {
+        active,
+        suppressed,
+        allowlist,
+        unused_allowlist,
+        invariants,
+        files_scanned: files.len(),
+    })
+}

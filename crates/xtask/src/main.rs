@@ -1,0 +1,97 @@
+//! CLI entry point: `cargo xtask audit [--fix-report <path>] [--root
+//! <path>] [--warnings]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => audit(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask audit [--fix-report <path>] [--root <path>] [--warnings]\n\
+         \n\
+         Audits the workspace against the invariant rules described in\n\
+         DESIGN.md §\"Invariants & static analysis\".\n\
+         \n\
+         options:\n\
+           --fix-report <path>  also write a machine-readable JSON report\n\
+           --root <path>        workspace root (default: walk up from cwd)\n\
+           --warnings           print heuristic warnings (never fail the audit)"
+    );
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let mut fix_report: Option<String> = None;
+    let mut root_arg: Option<String> = None;
+    let mut show_warnings = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fix-report" => match it.next() {
+                Some(p) => fix_report = Some(p.clone()),
+                None => {
+                    eprintln!("--fix-report needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(p.clone()),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--warnings" => show_warnings = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match xtask::workspace::find_root(root_arg.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match xtask::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text(show_warnings));
+    if let Some(path) = fix_report {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,232 @@
+//! Human and machine-readable audit reports.
+
+use crate::allowlist::AllowEntry;
+use crate::rules::{InvariantMarker, Violation};
+
+/// Complete result of one audit run.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Violations not covered by the allowlist (audit fails if any
+    /// error-severity entries exist).
+    pub active: Vec<Violation>,
+    /// Violations suppressed by an allowlist entry (entry index).
+    pub suppressed: Vec<(Violation, usize)>,
+    /// Allowlist entries, as parsed.
+    pub allowlist: Vec<AllowEntry>,
+    /// Indexes of allowlist entries that matched nothing.
+    pub unused_allowlist: Vec<usize>,
+    /// Every `// INVARIANT:` marker in the workspace.
+    pub invariants: Vec<InvariantMarker>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// `true` when the audit should fail the build.
+    pub fn failed(&self) -> bool {
+        use crate::rules::Severity;
+        self.active.iter().any(|v| v.severity == Severity::Error)
+            || !self.unused_allowlist.is_empty()
+    }
+
+    /// Counts of (errors, warnings) among active violations.
+    pub fn counts(&self) -> (usize, usize) {
+        use crate::rules::Severity;
+        let errors = self
+            .active
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count();
+        (errors, self.active.len() - errors)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self, show_warnings: bool) -> String {
+        use crate::rules::Severity;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let (errors, warnings) = self.counts();
+        for v in &self.active {
+            if v.severity == Severity::Warning && !show_warnings {
+                continue;
+            }
+            let tag = match v.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = writeln!(
+                out,
+                "{tag}[{}]: {}\n  --> {}:{}\n   | {}\n",
+                v.rule, v.message, v.path, v.line, v.snippet
+            );
+        }
+        for &i in &self.unused_allowlist {
+            let e = &self.allowlist[i];
+            let _ = writeln!(
+                out,
+                "error[stale-allowlist]: entry at allowlist line {} (`{} | {} | {}`) matched \
+                 nothing — remove it\n",
+                e.line, e.rule, e.path_suffix, e.fragment
+            );
+        }
+        let _ = writeln!(
+            out,
+            "audit: {} file(s) scanned, {} error(s), {} warning(s), {} allowlisted, \
+             {} invariant marker(s) indexed",
+            self.files_scanned,
+            errors,
+            warnings,
+            self.suppressed.len(),
+            self.invariants.len()
+        );
+        out
+    }
+
+    /// Renders the machine-readable JSON report for `--fix-report`.
+    pub fn render_json(&self) -> String {
+        use crate::rules::Severity;
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"failed\": {},\n",
+            self.files_scanned,
+            self.failed()
+        ));
+        out.push_str("  \"violations\": [\n");
+        let items: Vec<String> = self
+            .active
+            .iter()
+            .map(|v| {
+                format!(
+                    "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
+                     \"snippet\": {}, \"message\": {}}}",
+                    json_str(v.rule),
+                    json_str(match v.severity {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    }),
+                    json_str(&v.path),
+                    v.line,
+                    json_str(&v.snippet),
+                    json_str(&v.message)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"allowlisted\": [\n");
+        let items: Vec<String> = self
+            .suppressed
+            .iter()
+            .map(|(v, idx)| {
+                format!(
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"reason\": {}}}",
+                    json_str(v.rule),
+                    json_str(&v.path),
+                    v.line,
+                    json_str(&self.allowlist[*idx].reason)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"invariants\": [\n");
+        let items: Vec<String> = self
+            .invariants
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"path\": {}, \"line\": {}, \"text\": {}}}",
+                    json_str(&m.path),
+                    m.line,
+                    json_str(&m.text)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (no external serializer available in
+/// the offline build).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn failed_iff_errors_or_stale_entries() {
+        let mut report = AuditReport {
+            active: Vec::new(),
+            suppressed: Vec::new(),
+            allowlist: Vec::new(),
+            unused_allowlist: Vec::new(),
+            invariants: Vec::new(),
+            files_scanned: 0,
+        };
+        assert!(!report.failed());
+        report.active.push(Violation {
+            rule: "indexing",
+            path: "x.rs".into(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            severity: Severity::Warning,
+        });
+        assert!(!report.failed(), "warnings alone must not fail the audit");
+        report.active.push(Violation {
+            rule: "panic-free",
+            path: "x.rs".into(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+            severity: Severity::Error,
+        });
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let report = AuditReport {
+            active: vec![Violation {
+                rule: "float-eq",
+                path: "a.rs".into(),
+                line: 3,
+                snippet: "x == 0.0".into(),
+                message: "msg".into(),
+                severity: Severity::Error,
+            }],
+            suppressed: Vec::new(),
+            allowlist: Vec::new(),
+            unused_allowlist: Vec::new(),
+            invariants: Vec::new(),
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"rule\": \"float-eq\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,358 @@
+//! The audit rules.
+//!
+//! Every rule is a pure function over the lexed token stream (plus raw
+//! source for the comment-marker rules) of one file. See DESIGN.md
+//! §"Invariants & static analysis" for the rationale behind each rule.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit unless allowlisted.
+    Error,
+    /// Reported for visibility; never fails the audit. Used by the
+    /// heuristic indexing check, whose token-level detection cannot
+    /// reach zero false positives without type information.
+    Warning,
+}
+
+/// One rule finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable rule identifier (used in the allowlist).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Trimmed source line for context (and allowlist matching).
+    pub snippet: String,
+    /// Human explanation.
+    pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+}
+
+/// An indexed `// INVARIANT:` marker.
+#[derive(Debug, Clone)]
+pub struct InvariantMarker {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Marker text after `INVARIANT:`.
+    pub text: String,
+}
+
+/// Which rule families apply to a file. Decided by
+/// [`crate::workspace::classify`] from the file's location.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// R1: panic-free library code (`unwrap`/`expect`/`panic!`/
+    /// `unreachable!`/`todo!`/`unimplemented!` banned outside tests).
+    pub panic_free: bool,
+    /// R2: no unseeded RNG (`thread_rng`, `from_entropy`, `OsRng`).
+    pub seeded_rng: bool,
+    /// R3: no float-literal `==`/`!=` comparisons.
+    pub float_eq: bool,
+    /// R1b: heuristic indexing-without-`get` warning.
+    pub indexing: bool,
+}
+
+fn snippet(source: &str, line: usize) -> String {
+    source
+        .lines()
+        .nth(line.saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .to_owned()
+}
+
+/// Computes the token-index ranges covered by `#[cfg(test)]` /
+/// `#[cfg(all(test, ...))]` / `#[test]` items: from the attribute to the
+/// end of the item's brace block.
+pub fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            if let Some(attr_end) = match_test_attribute(toks, i) {
+                // Find the opening brace of the annotated item, skipping
+                // further attributes and the item header.
+                let mut j = attr_end;
+                let mut found = None;
+                while j < toks.len() {
+                    if toks[j].kind == TokKind::Punct {
+                        match toks[j].text.as_str() {
+                            "{" => {
+                                found = Some(j);
+                                break;
+                            }
+                            // `#[cfg(test)] use foo;` or `mod tests;` —
+                            // no block to skip.
+                            ";" => break,
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(open) = found {
+                    let close = matching_brace(toks, open);
+                    regions.push((i, close));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If a `#[cfg(test)]`-like or `#[test]` attribute starts at token `i`
+/// (the `#`), returns the index one past its closing `]`.
+fn match_test_attribute(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return None;
+    }
+    let close = matching_delim(toks, i + 1, "[", "]");
+    let inner: Vec<&str> = toks[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+    let is_test_attr = match inner.as_slice() {
+        ["test"] => true,
+        ["cfg", "(", "test", ")"] => true,
+        _ => {
+            // #[cfg(all(test, ...))] and #[cfg(any(test, ...))]: treat as
+            // test-only — over-approximating keeps the audit quiet on
+            // genuinely test-gated code. (any(test, …) can also compile
+            // into non-test builds; none exist in this workspace.)
+            inner.len() > 4
+                && inner[0] == "cfg"
+                && matches!(inner.get(2), Some(&"all") | Some(&"any"))
+                && inner.contains(&"test")
+        }
+    };
+    if is_test_attr {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+fn matching_delim(toks: &[Tok], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].kind == TokKind::Punct {
+            if toks[j].text == open {
+                depth += 1;
+            } else if toks[j].text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn matching_brace(toks: &[Tok], open_idx: usize) -> usize {
+    matching_delim(toks, open_idx, "{", "}")
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// R1 + R1b + R2 + R3: token-stream rules over one file.
+pub fn check_tokens(
+    path: &str,
+    source: &str,
+    toks: &[Tok],
+    rules: RuleSet,
+    out: &mut Vec<Violation>,
+) {
+    let regions = test_regions(toks);
+    for (i, tok) in toks.iter().enumerate() {
+        let in_test = in_regions(&regions, i);
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(i + 1);
+
+        // R1: panic-family calls in library code.
+        if rules.panic_free && !in_test && tok.kind == TokKind::Ident {
+            let is_method = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+            let is_macro = next.is_some_and(|x| x.kind == TokKind::Punct && x.text == "!");
+            let flagged = match tok.text.as_str() {
+                "unwrap" | "expect" => is_method,
+                "panic" | "unreachable" | "todo" | "unimplemented" => is_macro,
+                _ => false,
+            };
+            if flagged {
+                out.push(Violation {
+                    rule: "panic-free",
+                    path: path.to_owned(),
+                    line: tok.line,
+                    snippet: snippet(source, tok.line),
+                    message: format!(
+                        "`{}` in library code — return `PrqError`/`Result` instead \
+                         (hot-path code must not panic)",
+                        tok.text
+                    ),
+                    severity: Severity::Error,
+                });
+            }
+        }
+
+        // R1b (heuristic, warning-only): indexing on an expression.
+        if rules.indexing
+            && !in_test
+            && tok.kind == TokKind::Punct
+            && tok.text == "["
+            && prev.is_some_and(|p| {
+                (p.kind == TokKind::Ident
+                    && !matches!(
+                        p.text.as_str(),
+                        // Keywords that legitimately precede `[`:
+                        // slice patterns, array types/expressions.
+                        "mut" | "ref" | "in" | "return" | "break" | "else" | "dyn" | "as"
+                    ))
+                    || (p.kind == TokKind::Punct && (p.text == ")" || p.text == "]"))
+            })
+            // Full-range slicing `x[..]` cannot panic.
+            && !next.is_some_and(|x| x.kind == TokKind::Punct && x.text == "..")
+        {
+            out.push(Violation {
+                rule: "indexing",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: "possible panicking index — prefer `.get()` where the index \
+                          is not provably in bounds (heuristic; warning only)"
+                    .to_owned(),
+                severity: Severity::Warning,
+            });
+        }
+
+        // R2: unseeded RNG sources.
+        if rules.seeded_rng
+            && tok.kind == TokKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng"
+            )
+        {
+            out.push(Violation {
+                rule: "unseeded-rng",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: format!(
+                    "`{}` breaks reproducibility — derive every stream from an \
+                     explicit seed (`StdRng::seed_from_u64`)",
+                    tok.text
+                ),
+                severity: Severity::Error,
+            });
+        }
+
+        // R3: float-literal equality.
+        if rules.float_eq
+            && !in_test
+            && tok.kind == TokKind::Punct
+            && (tok.text == "==" || tok.text == "!=")
+            && (prev.is_some_and(|p| p.kind == TokKind::FloatLit)
+                || next.is_some_and(|x| x.kind == TokKind::FloatLit))
+        {
+            out.push(Violation {
+                rule: "float-eq",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: "direct float equality — use a tolerance helper, or allowlist \
+                          with a justification if the exact comparison is intentional \
+                          (e.g. an exact-zero boundary guard)"
+                    .to_owned(),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// R4: crate roots must carry the two workspace-wide hygiene attributes.
+pub fn check_crate_root(path: &str, source: &str, out: &mut Vec<Violation>) {
+    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+        if !source.contains(attr) {
+            out.push(Violation {
+                rule: "crate-root-attrs",
+                path: path.to_owned(),
+                line: 1,
+                snippet: String::new(),
+                message: format!("crate root is missing `{attr}`"),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+/// Names of functions that implement conservative lookups and therefore
+/// must carry an `// INVARIANT:` marker (rule R5). Matched within the
+/// files listed in [`crate::workspace::INVARIANT_FILES`].
+fn needs_invariant_marker(fn_name: &str) -> bool {
+    fn_name.starts_with("lookup") || fn_name == "r_theta_exact" || fn_name == "with_r_theta"
+}
+
+/// R5a: collect `// INVARIANT:` markers from raw source.
+pub fn collect_invariants(path: &str, source: &str, out: &mut Vec<InvariantMarker>) {
+    for (idx, raw) in source.lines().enumerate() {
+        if let Some(pos) = raw.find("// INVARIANT:") {
+            out.push(InvariantMarker {
+                path: path.to_owned(),
+                line: idx + 1,
+                text: raw[pos + "// INVARIANT:".len()..].trim().to_owned(),
+            });
+        }
+    }
+}
+
+/// R5b: in conservative-lookup files, every lookup function must have a
+/// marker within the `WINDOW` lines above its `fn` line.
+pub fn check_invariant_markers(path: &str, source: &str, out: &mut Vec<Violation>) {
+    const WINDOW: usize = 16;
+    let lines: Vec<&str> = source.lines().collect();
+    for (idx, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        let Some(rest) = trimmed
+            .strip_prefix("pub fn ")
+            .or_else(|| trimmed.strip_prefix("fn "))
+        else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !needs_invariant_marker(&name) {
+            continue;
+        }
+        let start = idx.saturating_sub(WINDOW);
+        let has_marker = lines[start..idx]
+            .iter()
+            .any(|l| l.contains("// INVARIANT:"));
+        if !has_marker {
+            out.push(Violation {
+                rule: "invariant-marker",
+                path: path.to_owned(),
+                line: idx + 1,
+                snippet: trimmed.trim_end().to_owned(),
+                message: format!(
+                    "conservative-lookup function `{name}` has no `// INVARIANT:` \
+                     marker in the {WINDOW} lines above it — document why the \
+                     returned bound never under-covers"
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixture self-tests: each file under `tests/fixtures/` violates
+//! exactly one rule, and the auditor must report that violation and
+//! nothing else. `clean.rs` exercises every exemption at once and must
+//! come back empty.
+
+use xtask::rules::{InvariantMarker, RuleSet, Severity, Violation};
+
+const ALL_RULES: RuleSet = RuleSet {
+    panic_free: true,
+    seeded_rng: true,
+    float_eq: true,
+    indexing: true,
+};
+
+fn audit_fixture(
+    name: &str,
+    as_crate_root: bool,
+    check_invariants: bool,
+) -> (Vec<Violation>, Vec<InvariantMarker>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    let mut violations = Vec::new();
+    let mut invariants = Vec::new();
+    xtask::audit_source(
+        name,
+        &source,
+        ALL_RULES,
+        as_crate_root,
+        check_invariants,
+        &mut violations,
+        &mut invariants,
+    );
+    (violations, invariants)
+}
+
+/// Asserts the fixture produced exactly one violation of `rule`.
+fn assert_single(violations: &[Violation], rule: &str, line: usize, severity: Severity) {
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected exactly one `{rule}` violation, got: {violations:#?}"
+    );
+    assert_eq!(violations[0].rule, rule);
+    assert_eq!(violations[0].line, line, "wrong line: {violations:#?}");
+    assert_eq!(violations[0].severity, severity);
+}
+
+#[test]
+fn panic_free_flags_library_unwrap_but_not_test_unwrap() {
+    let (violations, _) = audit_fixture("panic_free.rs", false, false);
+    assert_single(&violations, "panic-free", 5, Severity::Error);
+    assert!(violations[0].snippet.contains("unwrap"));
+}
+
+#[test]
+fn panic_free_flags_panic_macro_but_not_string_literal() {
+    let (violations, _) = audit_fixture("panic_macro.rs", false, false);
+    assert_single(&violations, "panic-free", 6, Severity::Error);
+}
+
+#[test]
+fn indexing_heuristic_warns_but_skips_full_range_slice() {
+    let (violations, _) = audit_fixture("indexing.rs", false, false);
+    assert_single(&violations, "indexing", 6, Severity::Warning);
+}
+
+#[test]
+fn unseeded_rng_flags_thread_rng_but_not_seed_from_u64() {
+    let (violations, _) = audit_fixture("unseeded_rng.rs", false, false);
+    assert_single(&violations, "unseeded-rng", 5, Severity::Error);
+    assert!(violations[0].snippet.contains("thread_rng"));
+}
+
+#[test]
+fn float_eq_flags_literal_equality_but_not_tolerance_or_int() {
+    let (violations, _) = audit_fixture("float_eq.rs", false, false);
+    assert_single(&violations, "float-eq", 6, Severity::Error);
+}
+
+#[test]
+fn crate_root_attrs_reports_each_missing_attribute() {
+    let (violations, _) = audit_fixture("crate_root_attrs.rs", true, false);
+    assert_single(&violations, "crate-root-attrs", 1, Severity::Error);
+    assert!(violations[0].message.contains("missing_docs"));
+}
+
+#[test]
+fn invariant_marker_required_on_lookup_functions() {
+    let (violations, invariants) = audit_fixture("invariant_marker.rs", false, true);
+    assert_single(&violations, "invariant-marker", 5, Severity::Error);
+    assert!(violations[0].message.contains("lookup_reject"));
+    // The annotated function's marker is still indexed.
+    assert_eq!(invariants.len(), 1);
+    assert!(invariants[0].text.contains("rounded toward rejection"));
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let (violations, invariants) = audit_fixture("clean.rs", true, true);
+    assert!(
+        violations.is_empty(),
+        "clean fixture must produce no findings: {violations:#?}"
+    );
+    assert_eq!(invariants.len(), 1);
+}
+
+#[test]
+fn allowlist_suppresses_a_triaged_violation() {
+    let (violations, _) = audit_fixture("float_eq.rs", false, false);
+    let entries =
+        xtask::allowlist::parse("float-eq | float_eq.rs | x == 0.25 | intentional boundary")
+            .unwrap();
+    let (active, suppressed, unused) = xtask::allowlist::apply(violations, &entries);
+    assert!(active.is_empty());
+    assert_eq!(suppressed.len(), 1);
+    assert!(unused.is_empty());
+}
+
+/// The acceptance gate: the real workspace must audit clean — zero
+/// unsuppressed errors, no stale allowlist entries — and the invariant
+/// index must cover the conservative-lookup sites.
+#[test]
+fn workspace_audits_clean() {
+    let root = xtask::workspace::find_root(None).expect("workspace root");
+    let report = xtask::audit_workspace(&root).expect("audit runs");
+    assert!(
+        !report.failed(),
+        "workspace audit failed:\n{}",
+        report.render_text(false)
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let marked_files: std::collections::BTreeSet<&str> =
+        report.invariants.iter().map(|m| m.path.as_str()).collect();
+    assert!(
+        marked_files.contains("crates/core/src/ucatalog.rs"),
+        "ucatalog lookups must carry INVARIANT markers"
+    );
+    assert!(
+        marked_files.contains("crates/core/src/theta_region.rs"),
+        "theta_region exact radius must carry INVARIANT markers"
+    );
+}

@@ -1,0 +1,33 @@
+//! Fixture: passes every rule. Exercises the exemptions: test-region
+//! panics, seeded RNG, tolerance-based float comparison, annotated
+//! lookup, and both crate-root attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Tolerance compare.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9
+}
+
+// INVARIANT: monotone in `x`; callers rely on round-down behavior so
+// the reported probability bound never exceeds the true value.
+/// Conservative table lookup.
+pub fn lookup_bound(x: f64) -> f64 {
+    close(x, 0.5);
+    x.floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_allowed_here() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), v[0]);
+        if close(0.1, 0.2) {
+            unreachable!("tolerance too wide");
+        }
+    }
+}

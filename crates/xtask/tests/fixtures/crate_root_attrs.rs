@@ -1,0 +1,8 @@
+//! Fixture: a crate root that forbids unsafe code but does not warn on
+//! undocumented items — violates `crate-root-attrs` exactly once.
+//! (The attribute names are deliberately not spelled out in this
+//! comment: rule R4 is a substring check over the raw source.)
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

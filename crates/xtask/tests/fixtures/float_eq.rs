@@ -1,0 +1,15 @@
+// Fixture: violates `float-eq` exactly once (`x == 0.25`).
+// The tolerance comparison and the integer equality must NOT be
+// reported.
+
+pub fn is_quarter(x: f64) -> bool {
+    x == 0.25
+}
+
+pub fn is_close(x: f64) -> bool {
+    (x - 0.25).abs() < 1e-12
+}
+
+pub fn is_zero(n: usize) -> bool {
+    n == 0
+}

@@ -1,0 +1,7 @@
+// Fixture: triggers the `indexing` heuristic exactly once (warning).
+// The full-range slice `values[..]` must NOT be reported.
+
+pub fn pick(values: &[u32], i: usize) -> u32 {
+    let _all = &values[..];
+    values[i]
+}

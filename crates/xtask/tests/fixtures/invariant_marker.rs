@@ -1,0 +1,13 @@
+// Fixture: violates `invariant-marker` exactly once — `lookup_reject`
+// carries no marker comment above it. `lookup_accept` is properly
+// annotated and must NOT be reported.
+
+pub fn lookup_reject(x: f64) -> f64 {
+    x * 0.5
+}
+
+// INVARIANT: returned bound is rounded toward rejection, so a hit is
+// always safe to prune.
+pub fn lookup_accept(x: f64) -> f64 {
+    x * 2.0
+}

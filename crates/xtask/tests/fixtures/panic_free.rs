@@ -1,0 +1,15 @@
+// Fixture: violates `panic-free` exactly once (the library `.unwrap()`).
+// The test-module unwrap below must NOT be reported.
+
+pub fn first(values: &[u32]) -> u32 {
+    values.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

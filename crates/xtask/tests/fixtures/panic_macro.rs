@@ -1,0 +1,9 @@
+// Fixture: violates `panic-free` exactly once via the `panic!` macro.
+// `rpanic!` (different ident) and the string literal must not match.
+
+pub fn checked(flag: bool) -> &'static str {
+    if flag {
+        panic!("boom");
+    }
+    "a panic! inside a string is not a macro call"
+}

@@ -1,0 +1,12 @@
+// Fixture: violates `unseeded-rng` exactly once (`thread_rng`).
+// The seeded construction below must NOT be reported.
+
+pub fn sample() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn sample_seeded(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen()
+}

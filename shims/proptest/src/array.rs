@@ -1,0 +1,32 @@
+//! Array strategies (`proptest::array::uniform3` etc.).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing fixed-size arrays from a single element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),*) => {$(
+        /// Generates arrays whose elements are all drawn from `element`.
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )*};
+}
+
+uniform_fn!(
+    uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+    uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+    uniform9 => 9
+);

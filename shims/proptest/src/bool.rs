@@ -1,0 +1,27 @@
+//! Boolean strategies (`proptest::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `true` with a fixed probability.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    probability: f64,
+}
+
+/// Generates `true` with probability `probability`.
+pub fn weighted(probability: f64) -> Weighted {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "bool::weighted: probability {probability} outside [0, 1]"
+    );
+    Weighted { probability }
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.rng.gen_bool(self.probability)
+    }
+}

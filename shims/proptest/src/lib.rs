@@ -1,0 +1,103 @@
+//! Offline API-compatible subset of [`proptest`](https://docs.rs/proptest)
+//! for the gaussian-prq workspace.
+//!
+//! The build environment has no network access, so this shim provides the
+//! slice of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support);
+//! * [`strategy::Strategy`] implemented for numeric ranges, tuples,
+//!   arrays, [`collection::vec`], [`array::uniform3`]/[`array::uniform4`],
+//!   and [`bool::weighted`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate: inputs are drawn from a fixed
+//! deterministic seed derived from the test name (no `PROPTEST_` env
+//! handling), and failing cases are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]`-style function that draws `config.cases` inputs from the
+/// strategies and runs the body on each. A panicking body fails the
+/// test after printing the offending inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    // `$arg:tt` (not `ident`/`pat`): parameters may be plain names or
+    // tuple-destructuring patterns like `(a, b) in strat` — both are a
+    // single token tree, which can be re-parsed as a binding pattern in
+    // the `let` below *and* as an expression (rebuilding the tuple from
+    // its bindings) in the failure report.
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(payload) = __outcome {
+                        eprintln!(
+                            "proptest shim: {} failed on case {}/{} with inputs:",
+                            stringify!($name), __case + 1, __config.cases,
+                        );
+                        $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                        eprintln!("(no shrinking in the offline shim)");
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,10 @@
+//! The glob-importable prelude, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Alias of the crate root, so `prop::collection::vec(...)` paths work.
+pub mod prop {
+    pub use crate::{array, bool, collection, strategy};
+}

@@ -1,0 +1,48 @@
+//! Test configuration and the deterministic RNG driving value
+//! generation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep that so coverage is
+        // comparable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator for strategies, seeded from the test name so
+/// every run of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator whose seed is an FNV-1a hash of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}
