@@ -33,7 +33,7 @@ fn bench_preparation(c: &mut Criterion) {
 fn bench_filter_predicates(c: &mut Criterion) {
     let q = query();
     let region = ThetaRegion::for_query(&q).unwrap();
-    let rr = RrFilter::new(&q, region.clone(), FringeMode::PaperFaithful);
+    let rr = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
     let or = OrFilter::new(&q, &region);
     let bf = BfBounds::exact(&q);
     let probe = Vector::from([530.0, 520.0]);

@@ -66,7 +66,7 @@ fn main() {
     for _ in 0..reps {
         let r = rr_cat.lookup(query.theta()).unwrap();
         let _ = ThetaRegion::with_r_theta(&query, r).unwrap();
-        let _ = BfBounds::from_catalog(&query, &bf_cat);
+        let _ = BfBounds::from_catalog(&query, &bf_cat).unwrap();
     }
     let cat_us = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
     println!("per-query radius derivation: exact {exact_us:.1} µs, catalog {cat_us:.1} µs");
@@ -173,7 +173,7 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n=== Ablation 4: R*-tree Phase 1 vs linear scan ===");
     let region = ThetaRegion::for_query(&query).unwrap();
-    let rr = gprq_core::RrFilter::new(&query, region, FringeMode::PaperFaithful);
+    let rr = gprq_core::RrFilter::new(&query, &region, FringeMode::PaperFaithful);
     let rect = rr.search_rect();
     let t = Instant::now();
     let mut stats = gprq_rtree::SearchStats::default();

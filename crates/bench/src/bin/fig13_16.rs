@@ -44,7 +44,7 @@ fn main() {
         )
         .expect("valid");
         let region = ThetaRegion::for_query(&query).expect("θ < 1/2");
-        let rr = RrFilter::new(&query, region.clone(), FringeMode::PaperFaithful);
+        let rr = RrFilter::new(&query, &region, FringeMode::PaperFaithful);
         let or = OrFilter::new(&query, &region);
         let bf = BfBounds::exact(&query);
 

@@ -50,7 +50,7 @@ pub fn region_volumes<const D: usize>(
     seed: u64,
 ) -> Result<RegionVolumes, PrqError> {
     let region = ThetaRegion::for_query(query)?;
-    let rr = RrFilter::new(query, region.clone(), FringeMode::AllDimensions);
+    let rr = RrFilter::new(query, &region, FringeMode::AllDimensions);
     let or = OrFilter::new(query, &region);
     let bf = BfBounds::exact(query);
 

@@ -21,6 +21,15 @@ pub enum PrqError {
     NoPrimaryStrategy,
     /// The covariance matrix was rejected by the linear-algebra layer.
     BadCovariance(LinalgError),
+    /// A U-catalog built for one dimension was used with a query of
+    /// another: its tabulated radii would be silently wrong, not merely
+    /// conservative.
+    CatalogDimensionMismatch {
+        /// Dimension the catalog was built for.
+        catalog: usize,
+        /// Dimension of the query.
+        query: usize,
+    },
 }
 
 impl fmt::Display for PrqError {
@@ -43,6 +52,10 @@ impl fmt::Display for PrqError {
                 )
             }
             PrqError::BadCovariance(e) => write!(f, "invalid covariance matrix: {e}"),
+            PrqError::CatalogDimensionMismatch { catalog, query } => write!(
+                f,
+                "catalog dimension {catalog} does not match query dimension {query}"
+            ),
         }
     }
 }

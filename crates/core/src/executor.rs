@@ -72,6 +72,28 @@ pub struct PrqOutcome<'t, const D: usize, T> {
     pub stats: QueryStats,
 }
 
+/// Reusable intermediate buffers for [`PrqExecutor::execute_with_scratch`].
+///
+/// The executor's Phase-1 candidate set and Phase-3 work list are the
+/// only per-query allocations besides the returned answer vector; a
+/// batch driver (the experiment harness runs 30-query workloads per
+/// table cell) keeps one scratch per tree borrow and amortizes them.
+#[derive(Debug, Default)]
+pub struct QueryScratch<'t, const D: usize, T> {
+    candidates: Vec<(&'t Vector<D>, &'t T)>,
+    to_integrate: Vec<(&'t Vector<D>, &'t T)>,
+}
+
+impl<const D: usize, T> QueryScratch<'_, D, T> {
+    /// Creates empty scratch buffers (no allocation until first use).
+    pub fn new() -> Self {
+        QueryScratch {
+            candidates: Vec::new(),
+            to_integrate: Vec::new(),
+        }
+    }
+}
+
 /// Configured query executor.
 ///
 /// ```
@@ -155,6 +177,28 @@ impl<'c> PrqExecutor<'c> {
     where
         E: ProbabilityEvaluator<D>,
     {
+        let mut scratch = QueryScratch::new();
+        self.execute_with_scratch(tree, query, evaluator, &mut scratch)
+    }
+
+    /// [`PrqExecutor::execute`] reusing caller-owned intermediate
+    /// buffers; results are identical. Use from per-query loops.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PrqExecutor::execute`], plus
+    /// [`PrqError::CatalogDimensionMismatch`] when a configured BF
+    /// catalog was built for a different dimension.
+    pub fn execute_with_scratch<'t, const D: usize, T, E>(
+        &self,
+        tree: &'t RTree<D, T>,
+        query: &PrqQuery<D>,
+        evaluator: &mut E,
+        scratch: &mut QueryScratch<'t, D, T>,
+    ) -> Result<PrqOutcome<'t, D, T>, PrqError>
+    where
+        E: ProbabilityEvaluator<D>,
+    {
         self.strategies.validate()?;
         let mut stats = QueryStats::default();
 
@@ -178,18 +222,18 @@ impl<'c> PrqExecutor<'c> {
         // Binding the filters under one `match` ties their construction
         // to the region's existence: `region` is `Some` exactly when
         // `rr || or`, so neither arm can observe a missing region.
-        let (rr_filter, or_filter): (Option<RrFilter<D>>, Option<OrFilter<D>>) = match &region {
+        let (rr_filter, or_filter): (Option<RrFilter<'_, D>>, Option<OrFilter<D>>) = match &region {
             Some(reg) => (
                 self.strategies
                     .rr
-                    .then(|| RrFilter::new(query, reg.clone(), self.fringe_mode)),
+                    .then(|| RrFilter::new(query, reg, self.fringe_mode)),
                 self.strategies.or.then(|| OrFilter::new(query, reg)),
             ),
             None => (None, None),
         };
         let bf_bounds: Option<BfBounds<D>> = if self.strategies.bf {
             Some(match self.bf_catalog {
-                Some(cat) => BfBounds::from_catalog(query, cat),
+                Some(cat) => BfBounds::from_catalog(query, cat)?,
                 None => BfBounds::exact(query),
             })
         } else {
@@ -207,10 +251,15 @@ impl<'c> PrqExecutor<'c> {
             // error rather than a panic per the panic-free audit rule.
             (None, None) => return Err(PrqError::NoPrimaryStrategy),
         };
-        let mut candidates: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
+        let QueryScratch {
+            candidates,
+            to_integrate,
+        } = scratch;
+        candidates.clear();
+        to_integrate.clear();
         if let Some(rect) = search_rect {
             let mut search_stats = SearchStats::default();
-            candidates = tree.query_rect_with_stats(&rect, &mut search_stats);
+            tree.query_rect_into(&rect, &mut search_stats, candidates);
             stats.node_accesses = search_stats.nodes_visited;
         }
         stats.phase1_candidates = candidates.len();
@@ -219,8 +268,7 @@ impl<'c> PrqExecutor<'c> {
         // --- Phase 2: filtering. ---------------------------------------
         let t1 = Instant::now();
         let mut answers: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
-        let mut to_integrate: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
-        'candidates: for (point, data) in candidates {
+        'candidates: for &(point, data) in candidates.iter() {
             if let Some(rr) = &rr_filter {
                 if !rr.passes(point) {
                     stats.pruned_by_fringe += 1;
@@ -254,7 +302,7 @@ impl<'c> PrqExecutor<'c> {
         // --- Phase 3: probability computation. -------------------------
         let t2 = Instant::now();
         evaluator.begin_query(query.gaussian());
-        for (point, data) in to_integrate {
+        for &(point, data) in to_integrate.iter() {
             stats.integrations += 1;
             let p = evaluator.probability(query.gaussian(), point, query.delta());
             if p >= query.theta() {

@@ -67,7 +67,7 @@ pub use evaluator::{
     MonteCarloEvaluator, ProbabilityEvaluator, Quadrature2dEvaluator, QuasiMonteCarloEvaluator,
     SharedSamplesEvaluator,
 };
-pub use executor::{PrqExecutor, PrqOutcome, QueryStats};
+pub use executor::{PrqExecutor, PrqOutcome, QueryScratch, QueryStats};
 pub use explain::{explain, QueryPlan};
 pub use naive::execute_naive;
 pub use query::PrqQuery;

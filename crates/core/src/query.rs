@@ -62,6 +62,11 @@ impl<const D: usize> PrqQuery<D> {
     }
 
     /// Builds a query from an existing [`Gaussian`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrqError::InvalidDelta`] when `δ` is not positive and
+    /// finite, and [`PrqError::InvalidTheta`] when `θ ∉ (0, 1)`.
     pub fn from_gaussian(gaussian: Gaussian<D>, delta: f64, theta: f64) -> Result<Self, PrqError> {
         if !(delta > 0.0 && delta.is_finite()) {
             return Err(PrqError::InvalidDelta(delta));

@@ -29,6 +29,7 @@
 //! ball cannot reach `θ` under the *upper* bound, **no object can
 //! qualify** and the query answer is provably empty.
 
+use crate::error::PrqError;
 use crate::query::PrqQuery;
 use crate::ucatalog::{BfCatalog, CatalogLookup};
 use gprq_gaussian::noncentral::inverse_center_distance;
@@ -98,13 +99,19 @@ impl<const D: usize> BfBounds<D> {
     /// Computes the bounds through a [`BfCatalog`] with the paper's
     /// conservative lookup rules (Eqs. 32–33), falling back to the exact
     /// inverse when the query lands outside the tabulated grid.
-    pub fn from_catalog(query: &PrqQuery<D>, catalog: &BfCatalog) -> Self {
-        assert_eq!(
-            catalog.dim(),
-            D,
-            "catalog dimension {} does not match query dimension {D}",
-            catalog.dim()
-        );
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrqError::CatalogDimensionMismatch`] when the catalog
+    /// was built for a dimension other than `D` — its tabulated radii
+    /// would be wrong, not conservative.
+    pub fn from_catalog(query: &PrqQuery<D>, catalog: &BfCatalog) -> Result<Self, PrqError> {
+        if catalog.dim() != D {
+            return Err(PrqError::CatalogDimensionMismatch {
+                catalog: catalog.dim(),
+                query: D,
+            });
+        }
         let g = query.gaussian();
         let d = D as f64;
         let delta = query.delta();
@@ -143,11 +150,11 @@ impl<const D: usize> BfBounds<D> {
             }
         };
 
-        BfBounds {
+        Ok(BfBounds {
             center: *query.center(),
             reject,
             accept,
-        }
+        })
     }
 
     /// The Phase-1 search rectangle of Algorithm 2 (line 6): the box
@@ -161,6 +168,7 @@ impl<const D: usize> BfBounds<D> {
     }
 
     /// Phase-2 classification of a candidate by its distance to `q`.
+    // HOT-PATH: BF annulus classification (Phase 2 inner loop)
     pub fn classify(&self, p: &Vector<D>) -> BfClass {
         let dist = p.distance(&self.center);
         match self.reject {
@@ -339,7 +347,7 @@ mod tests {
         let q = paper_query(10.0, 25.0, 0.01);
         let exact = BfBounds::exact(&q);
         let catalog = BfCatalog::new(2);
-        let approx = BfBounds::from_catalog(&q, &catalog);
+        let approx = BfBounds::from_catalog(&q, &catalog).unwrap();
         match (exact.reject, approx.reject) {
             (RejectBound::Radius(e), RejectBound::Radius(a)) => {
                 assert!(a >= e - 1e-9, "catalog reject {a} tighter than exact {e}");
@@ -353,11 +361,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match query dimension")]
-    fn catalog_dimension_mismatch_panics() {
+    fn catalog_dimension_mismatch_is_rejected() {
         let q = paper_query(10.0, 25.0, 0.01);
         let catalog = BfCatalog::new(3);
-        let _ = BfBounds::from_catalog(&q, &catalog);
+        assert!(matches!(
+            BfBounds::from_catalog(&q, &catalog),
+            Err(crate::error::PrqError::CatalogDimensionMismatch {
+                catalog: 3,
+                query: 2
+            })
+        ));
     }
 
     #[test]

@@ -81,6 +81,11 @@ impl StrategySet {
     ];
 
     /// Validates that the set can produce a Phase-1 search region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrqError::NoPrimaryStrategy`] when neither RR nor BF is
+    /// enabled — OR alone cannot produce a search region.
     pub fn validate(&self) -> Result<(), PrqError> {
         if self.rr || self.bf {
             Ok(())

@@ -40,6 +40,7 @@ impl<const D: usize> OrFilter<D> {
 
     /// Phase-2 predicate: `true` iff the candidate lies inside the
     /// oblique box.
+    // HOT-PATH: OR oblique-box predicate (Phase 2 inner loop)
     pub fn passes(&self, p: &Vector<D>) -> bool {
         let diff = *p - self.center;
         // y = Eᵗ·(p − q); test |yᵢ| ≤ half_widths[i] axis by axis with
@@ -124,7 +125,7 @@ mod tests {
         use crate::strategy::rr::{FringeMode, RrFilter};
         let (q, f) = or(100.0);
         let region = ThetaRegion::for_query(&q).unwrap();
-        let rr = RrFilter::new(&q, region, FringeMode::Disabled);
+        let rr = RrFilter::new(&q, &region, FringeMode::Disabled);
         let rect = rr.search_rect();
         let eig = q.gaussian().eigen();
         let minor = eig.eigenvector(1);

@@ -34,17 +34,20 @@ pub enum FringeMode {
 }
 
 /// The RR filter for one query.
+///
+/// Borrows the θ-region (like [`crate::strategy::or::OrFilter`] does)
+/// so building the per-query filter set never copies the region.
 #[derive(Debug, Clone)]
-pub struct RrFilter<const D: usize> {
-    region: ThetaRegion<D>,
+pub struct RrFilter<'r, const D: usize> {
+    region: &'r ThetaRegion<D>,
     delta: f64,
     mode: FringeMode,
 }
 
-impl<const D: usize> RrFilter<D> {
+impl<'r, const D: usize> RrFilter<'r, D> {
     /// Builds the filter from a query and its θ-region (which may come
     /// from the exact inverse or a conservative U-catalog lookup).
-    pub fn new(query: &PrqQuery<D>, region: ThetaRegion<D>, mode: FringeMode) -> Self {
+    pub fn new(query: &PrqQuery<D>, region: &'r ThetaRegion<D>, mode: FringeMode) -> Self {
         RrFilter {
             region,
             delta: query.delta(),
@@ -72,6 +75,7 @@ impl<const D: usize> RrFilter<D> {
     /// Phase-2 predicate: keep a candidate iff it lies within `δ` of the
     /// θ-region bounding box (i.e. inside the rounded Minkowski sum, not
     /// in a corner fringe). Always `true` when the fringe is inactive.
+    // HOT-PATH: RR fringe predicate (Phase 2 inner loop)
     pub fn passes(&self, p: &Vector<D>) -> bool {
         if !self.fringe_active() {
             return true;
@@ -80,8 +84,8 @@ impl<const D: usize> RrFilter<D> {
     }
 
     /// The underlying θ-region.
-    pub fn region(&self) -> &ThetaRegion<D> {
-        &self.region
+    pub fn region(&self) -> &'r ThetaRegion<D> {
+        self.region
     }
 
     /// The per-axis half-widths of the search rectangle — the quantities
@@ -103,10 +107,10 @@ mod tests {
         PrqQuery::new(Vector::from([500.0, 500.0]), sigma, 25.0, 0.01).unwrap()
     }
 
-    fn rr(gamma: f64, mode: FringeMode) -> RrFilter<2> {
+    fn setup(gamma: f64) -> (PrqQuery<2>, ThetaRegion<2>) {
         let q = paper_query(gamma);
         let region = ThetaRegion::for_query(&q).unwrap();
-        RrFilter::new(&q, region, mode)
+        (q, region)
     }
 
     #[test]
@@ -114,7 +118,8 @@ mod tests {
         // Paper Fig. 13 (γ = 10, δ = 25, θ = 0.01) annotates the θ-box
         // half-widths 23.4 (x) and 15.3-ish (y): σₓ·r_θ = √70·2.797,
         // σ_y·r_θ = √30·2.797.
-        let f = rr(10.0, FringeMode::PaperFaithful);
+        let (q, region) = setup(10.0);
+        let f = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
         let w = f.region().box_half_widths();
         assert!((w[0] - 23.4).abs() < 0.1, "x θ-box half-width {w}");
         assert!((w[1] - 15.3).abs() < 0.1, "y θ-box half-width {w}");
@@ -127,22 +132,21 @@ mod tests {
     #[test]
     fn theta_box_half_widths_match_fig15_and_16() {
         // γ = 1 (Fig. 15 annotates 7.4 and 4.8): √7·2.797, √3·2.797.
-        let w = *rr(1.0, FringeMode::PaperFaithful)
-            .region()
-            .box_half_widths();
+        let (_, region) = setup(1.0);
+        let w = *region.box_half_widths();
         assert!((w[0] - 7.4).abs() < 0.1, "γ=1 {w}");
         assert!((w[1] - 4.84).abs() < 0.1, "γ=1 {w}");
         // γ = 100 (Fig. 16 annotates 74.1 and 48.5): √700·2.797, √300·2.797.
-        let w = *rr(100.0, FringeMode::PaperFaithful)
-            .region()
-            .box_half_widths();
+        let (_, region) = setup(100.0);
+        let w = *region.box_half_widths();
         assert!((w[0] - 74.0).abs() < 0.2, "γ=100 {w}");
         assert!((w[1] - 48.4).abs() < 0.2, "γ=100 {w}");
     }
 
     #[test]
     fn fringe_prunes_corners_only() {
-        let f = rr(10.0, FringeMode::PaperFaithful);
+        let (q, region) = setup(10.0);
+        let f = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
         assert!(f.fringe_active());
         let rect = f.search_rect();
         let center = Vector::from([500.0, 500.0]);
@@ -159,7 +163,8 @@ mod tests {
 
     #[test]
     fn disabled_fringe_passes_everything() {
-        let f = rr(10.0, FringeMode::Disabled);
+        let (q, region) = setup(10.0);
+        let f = RrFilter::new(&q, &region, FringeMode::Disabled);
         assert!(!f.fringe_active());
         assert!(f.passes(&Vector::from([1e9, 1e9])));
     }
@@ -168,9 +173,9 @@ mod tests {
     fn paper_faithful_is_inactive_in_3d() {
         let q = PrqQuery::<3>::new(Vector::ZERO, Matrix::identity(), 1.0, 0.1).unwrap();
         let region = ThetaRegion::for_query(&q).unwrap();
-        let f = RrFilter::new(&q, region.clone(), FringeMode::PaperFaithful);
+        let f = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
         assert!(!f.fringe_active());
-        let f = RrFilter::new(&q, region, FringeMode::AllDimensions);
+        let f = RrFilter::new(&q, &region, FringeMode::AllDimensions);
         assert!(f.fringe_active());
         // 3-D corner of the search rect is pruned by the generalized mode.
         let corner = f.search_rect().hi;
@@ -181,7 +186,8 @@ mod tests {
     fn search_rect_contains_minkowski_sum() {
         // Every point within δ of the θ-box must be inside the search
         // rect (the rect is the Minkowski sum's bounding box).
-        let f = rr(10.0, FringeMode::PaperFaithful);
+        let (q, region) = setup(10.0);
+        let f = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
         let rect = f.search_rect();
         let bbox = f.region().bounding_box();
         for k in 0..32 {

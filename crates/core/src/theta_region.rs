@@ -51,6 +51,11 @@ impl<const D: usize> ThetaRegion<D> {
     /// Builds the region from an externally supplied `r_θ` (e.g. a
     /// conservative U-catalog lookup). The radius must over-cover:
     /// `r ≥ chi_inverse(d, 1 − 2θ)` keeps filtering safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrqError::ThetaRegionUndefined`] when `θ ≥ 1/2` (or θ
+    /// is NaN): Definition 3 only defines the region for `θ < 1/2`.
     // INVARIANT: the caller's r_θ must satisfy r_θ ≥ chi_inverse(D, 1−2θ)
     // (catalog lookups guarantee this by rounding θ down); the resulting
     // ellipsoid then contains ≥ 1−2θ of the query mass, which Property 1
@@ -88,6 +93,7 @@ impl<const D: usize> ThetaRegion<D> {
 
     /// `true` if `p` lies inside the ellipsoid
     /// `(p − q)ᵗ Σ⁻¹ (p − q) ≤ r_θ²`.
+    // HOT-PATH: θ-region ellipsoid membership (Phase 2 predicate)
     pub fn contains(&self, p: &Vector<D>) -> bool {
         let diff = *p - self.center;
         self.precision.quadratic_form(&diff) <= self.r_theta * self.r_theta

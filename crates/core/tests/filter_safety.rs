@@ -46,7 +46,7 @@ proptest! {
         let sigma = covariance(smaj.max(smin), smin.min(smaj), angle);
         let q = PrqQuery::new(Vector::from([0.0, 0.0]), sigma, delta, theta).unwrap();
         let region = ThetaRegion::for_query(&q).unwrap();
-        let rr = RrFilter::new(&q, region.clone(), FringeMode::AllDimensions);
+        let rr = RrFilter::new(&q, &region, FringeMode::AllDimensions);
         let or = OrFilter::new(&q, &region);
         let bf = BfBounds::exact(&q);
         let search = rr.search_rect();

@@ -77,7 +77,7 @@ fn or_prunes_more_than_fringe_free_rr_on_narrow_gaussians() {
     // count grid points passing each filter.
     let q = PrqQuery::new(Vector::<9>::splat(0.0), narrow_sigma(1.0), 0.7, 0.4).unwrap();
     let region = ThetaRegion::for_query(&q).unwrap();
-    let rr = RrFilter::new(&q, region.clone(), FringeMode::PaperFaithful);
+    let rr = RrFilter::new(&q, &region, FringeMode::PaperFaithful);
     let or = OrFilter::new(&q, &region);
     let rect = rr.search_rect();
     let mut rng = StdRng::seed_from_u64(3);

@@ -85,6 +85,11 @@ pub fn chi_inverse(d: usize, p: f64) -> f64 {
 /// Exposed for the experiment harness (it annotates Fig. 17 with the mode
 /// `√(d−1)` of the radial density, which explains the "curse of
 /// dimensionality" discussion in §VI-B).
+///
+/// # Panics
+///
+/// Panics when `d = 0`: the chi distribution needs at least one degree
+/// of freedom.
 pub fn chi_pdf(d: usize, r: f64) -> f64 {
     assert!(d > 0);
     if r < 0.0 {

@@ -42,6 +42,7 @@ pub const PAPER_MC_SAMPLES: usize = 100_000;
 /// # Panics
 ///
 /// Panics if `n_samples == 0`; debug-asserts `delta ≥ 0`.
+// HOT-PATH: importance-sampling integration loop (Phase 3, paper §V-A)
 pub fn importance_sampling_probability<const D: usize, R: Rng + ?Sized>(
     gaussian: &Gaussian<D>,
     center: &Vector<D>,
@@ -102,14 +103,16 @@ impl<const D: usize> SharedSampleEvaluator<D> {
     }
 
     /// Estimates `Pr(‖x − center‖ ≤ delta)` from the stored batch.
+    // HOT-PATH: shared-sample qualification estimate (Phase 3 inner loop)
     pub fn probability(&self, center: &Vector<D>, delta: f64) -> f64 {
         debug_assert!(delta >= 0.0);
         let delta_sq = delta * delta;
-        let hits = self
-            .samples
-            .iter()
-            .filter(|x| x.distance_squared(center) <= delta_sq)
-            .count();
+        let mut hits = 0usize;
+        for x in &self.samples {
+            if x.distance_squared(center) <= delta_sq {
+                hits += 1;
+            }
+        }
         hits as f64 / self.samples.len() as f64
     }
 }

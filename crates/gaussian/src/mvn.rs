@@ -166,6 +166,11 @@ impl<const D: usize> Gaussian<D> {
     /// This powers the *uncertain targets* extension (paper §VII, future
     /// work 2): a range query against an imprecise target reduces exactly
     /// to a query with the combined covariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the linear-algebra layer's error when the summed
+    /// covariance `Σ + Σ_o` is not symmetric positive-definite.
     pub fn convolve(
         &self,
         other_mean: &Vector<D>,
@@ -179,6 +184,10 @@ impl<const D: usize> Gaussian<D> {
     /// Returns `(mean, std_dev)`. Useful for the 1-D analytic
     /// qualification probability and for per-axis reporting in the
     /// localization examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis ≥ D`.
     pub fn marginal_1d(&self, axis: usize) -> (f64, f64) {
         assert!(axis < D, "axis {axis} out of range for dimension {D}");
         (self.mean[axis], self.covariance[(axis, axis)].sqrt())
@@ -198,6 +207,10 @@ impl<const D: usize> Gaussian<D> {
     /// `N(qᵢ − Λᵢᵢ⁻¹·Σⱼ≠ᵢ Λᵢⱼ (vⱼ − qⱼ), Λᵢᵢ⁻¹)` — one row of a solve.
     ///
     /// Returns `(mean, std_dev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `axis ≥ D`.
     pub fn conditional_1d(&self, axis: usize, given: &Vector<D>) -> (f64, f64) {
         assert!(axis < D, "axis {axis} out of range for dimension {D}");
         let lambda_ii = self.precision[(axis, axis)];

@@ -15,17 +15,17 @@ use crate::specfun::std_normal_quantile;
 use gprq_linalg::Vector;
 
 /// The first 16 primes — Halton bases for up to 16 dimensions.
-const PRIMES: [u32; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+const PRIMES: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
 
 /// The radical-inverse function in base `b` of integer `i` — the `i`-th
 /// element of the van der Corput sequence.
-pub fn radical_inverse(base: u32, mut i: u64) -> f64 {
+pub fn radical_inverse(base: u64, mut i: u64) -> f64 {
     let b = base as f64;
     let mut inv_base = 1.0 / b;
     let mut result = 0.0;
     while i > 0 {
-        result += (i % base as u64) as f64 * inv_base;
-        i /= base as u64;
+        result += (i % base) as f64 * inv_base;
+        i /= base;
         inv_base /= b;
     }
     result
@@ -39,8 +39,11 @@ pub struct Halton<const D: usize> {
 }
 
 impl<const D: usize> Halton<D> {
-    /// Creates the sequence. Panics if `D` exceeds the 16 supported
-    /// dimensions.
+    /// Creates the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `D` exceeds the 16 supported prime bases.
     pub fn new() -> Self {
         assert!(
             D <= PRIMES.len(),

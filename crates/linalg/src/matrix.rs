@@ -129,17 +129,25 @@ impl<const D: usize> Matrix<D> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.0
-            .iter()
-            .flat_map(|r| r.iter())
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        let mut acc = 0.0;
+        for row in &self.0 {
+            for v in row {
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
     }
 
     /// Returns `true` if every entry is finite.
     pub fn is_finite(&self) -> bool {
-        self.0.iter().flat_map(|r| r.iter()).all(|v| v.is_finite())
+        for row in &self.0 {
+            for v in row {
+                if !v.is_finite() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Maximum absolute asymmetry `max |a[i][j] − a[j][i]|`.
@@ -155,6 +163,12 @@ impl<const D: usize> Matrix<D> {
 
     /// Validates that the matrix is symmetric within `tol` (relative to its
     /// Frobenius norm) and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFinite`] for NaN/∞ entries and
+    /// [`LinalgError::NotSymmetric`] naming the worst entry pair when
+    /// the relative asymmetry exceeds `tol`.
     pub fn check_symmetric(&self, tol: f64) -> Result<()> {
         if !self.is_finite() {
             return Err(LinalgError::NonFinite);
@@ -176,6 +190,11 @@ impl<const D: usize> Matrix<D> {
     }
 
     /// Cholesky factorization `M = L·Lᵗ` (requires symmetric positive-definite).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the matrix is non-finite, asymmetric, or not positive
+    /// definite (a non-positive pivot during factorization).
     pub fn cholesky(&self) -> Result<Cholesky<D>> {
         Cholesky::new(self)
     }
@@ -184,6 +203,11 @@ impl<const D: usize> Matrix<D> {
     ///
     /// Eigenvalues are returned sorted in **descending** order with matching
     /// orthonormal eigenvectors (columns of [`SymmetricEigen::eigenvectors`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the matrix is non-finite or asymmetric, or when the
+    /// Jacobi sweep does not converge within its iteration budget.
     pub fn symmetric_eigen(&self) -> Result<SymmetricEigen<D>> {
         SymmetricEigen::new(self)
     }

@@ -90,7 +90,12 @@ impl<const D: usize> Vector<D> {
 
     /// Returns `true` if every coordinate is finite.
     pub fn is_finite(&self) -> bool {
-        self.0.iter().all(|v| v.is_finite())
+        for v in &self.0 {
+            if !v.is_finite() {
+                return false;
+            }
+        }
+        true
     }
 
     /// Returns the unit vector in the direction of `self`.

@@ -50,11 +50,11 @@ impl<const D: usize, T> UniformGrid<D, T> {
             "grid keys must be finite"
         );
 
-        let bounds = match points.first() {
+        let bounds = match points.split_first() {
             None => Rect::from_point(&Vector::ZERO),
-            Some((first, _)) => {
+            Some(((first, _), rest)) => {
                 let mut b = Rect::from_point(first);
-                for (p, _) in &points[1..] {
+                for (p, _) in rest {
                     b.extend_point(p);
                 }
                 b

@@ -44,6 +44,6 @@ pub mod tree;
 pub use grid::UniformGrid;
 pub use node::LeafEntry;
 pub use params::RStarParams;
-pub use query::SearchStats;
+pub use query::{KnnScratch, SearchStats};
 pub use rect::Rect;
 pub use tree::{RTree, TreeStats};

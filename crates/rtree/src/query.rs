@@ -6,6 +6,13 @@
 //! determines the dominant Phase 3 cost. [`SearchStats`] exposes both the
 //! I/O-proxy (nodes visited) and the candidate counts so the experiment
 //! harness can reproduce Tables I–III.
+//!
+//! Every query entry point has a buffer-reusing `*_into` variant that
+//! appends into a caller-owned `Vec` (after clearing it), so a batch
+//! driver issuing thousands of queries allocates its result buffers
+//! once. The convenience variants delegate to them. The descent helpers
+//! are `HOT-PATH` roots for the workspace auditor, which proves them
+//! transitively allocation-free.
 
 use crate::node::Node;
 use crate::rect::Rect;
@@ -25,14 +32,38 @@ pub struct SearchStats {
     pub results: usize,
 }
 
+/// Reusable scratch state for [`RTree::nearest_neighbors_into`].
+///
+/// Owns the best-first priority queue so repeated k-NN queries against
+/// the same tree reuse its backing allocation. The lifetime `'t` ties
+/// the scratch to the tree borrow; create one per batch of queries.
+pub struct KnnScratch<'t, const D: usize, T> {
+    heap: BinaryHeap<HeapItem<'t, D, T>>,
+}
+
+impl<'t, const D: usize, T> KnnScratch<'t, D, T> {
+    /// Creates empty scratch state (no allocation until first use).
+    pub fn new() -> Self {
+        KnnScratch {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<const D: usize, T> Default for KnnScratch<'_, D, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<const D: usize, T> RTree<D, T> {
     /// Visits every record whose point lies in `rect` (boundary
     /// inclusive), accumulating statistics.
-    pub fn query_rect_visit(
-        &self,
+    pub fn query_rect_visit<'t>(
+        &'t self,
         rect: &Rect<D>,
         stats: &mut SearchStats,
-        mut visit: impl FnMut(&Vector<D>, &T),
+        mut visit: impl FnMut(&'t Vector<D>, &'t T),
     ) {
         if self.is_empty() {
             return;
@@ -53,19 +84,33 @@ impl<const D: usize, T> RTree<D, T> {
         stats: &mut SearchStats,
     ) -> Vec<(&Vector<D>, &T)> {
         let mut out = Vec::new();
-        if !self.is_empty() {
-            rect_collect(&self.root, rect, stats, &mut out);
-        }
+        self.query_rect_into(rect, stats, &mut out);
         out
     }
 
+    /// Buffer-reusing [`RTree::query_rect_with_stats`]: clears `out`,
+    /// then appends every matching record. Results are identical to the
+    /// allocating variant (same order, same contents).
+    pub fn query_rect_into<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        rect_rec(&self.root, rect, stats, &mut |p, d| out.push((p, d)));
+    }
+
     /// Visits every record within Euclidean distance `radius` of `center`.
-    pub fn query_ball_visit(
-        &self,
+    pub fn query_ball_visit<'t>(
+        &'t self,
         center: &Vector<D>,
         radius: f64,
         stats: &mut SearchStats,
-        mut visit: impl FnMut(&Vector<D>, &T),
+        mut visit: impl FnMut(&'t Vector<D>, &'t T),
     ) {
         debug_assert!(radius >= 0.0);
         if self.is_empty() {
@@ -78,10 +123,28 @@ impl<const D: usize, T> RTree<D, T> {
     pub fn query_ball(&self, center: &Vector<D>, radius: f64) -> Vec<(&Vector<D>, &T)> {
         let mut out = Vec::new();
         let mut stats = SearchStats::default();
-        if !self.is_empty() {
-            ball_collect(&self.root, center, radius * radius, &mut stats, &mut out);
-        }
+        self.query_ball_into(center, radius, &mut stats, &mut out);
         out
+    }
+
+    /// Buffer-reusing [`RTree::query_ball`]: clears `out`, then appends
+    /// every record within `radius` of `center`, with statistics
+    /// accumulation. Results are identical to the allocating variant.
+    pub fn query_ball_into<'t>(
+        &'t self,
+        center: &Vector<D>,
+        radius: f64,
+        stats: &mut SearchStats,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        debug_assert!(radius >= 0.0);
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        ball_rec(&self.root, center, radius * radius, stats, &mut |p, d| {
+            out.push((p, d))
+        });
     }
 
     /// Returns the `k` records nearest to `center` as
@@ -103,46 +166,33 @@ impl<const D: usize, T> RTree<D, T> {
         k: usize,
         stats: &mut SearchStats,
     ) -> Vec<(f64, &Vector<D>, &T)> {
+        let mut scratch = KnnScratch::new();
         let mut out = Vec::new();
+        self.nearest_neighbors_into(center, k, stats, &mut scratch, &mut out);
+        out
+    }
+
+    /// Buffer-reusing [`RTree::nearest_neighbors_with_stats`]: clears
+    /// `out` and the scratch heap, then appends the `k` nearest records.
+    /// Results are identical to the allocating variant.
+    pub fn nearest_neighbors_into<'t>(
+        &'t self,
+        center: &Vector<D>,
+        k: usize,
+        stats: &mut SearchStats,
+        scratch: &mut KnnScratch<'t, D, T>,
+        out: &mut Vec<(f64, &'t Vector<D>, &'t T)>,
+    ) {
+        out.clear();
+        scratch.heap.clear();
         if k == 0 || self.is_empty() {
-            return out;
+            return;
         }
-        let mut heap: BinaryHeap<HeapItem<'_, D, T>> = BinaryHeap::new();
-        heap.push(HeapItem {
+        scratch.heap.push(HeapItem {
             dist_sq: self.root.mbr.min_dist_squared(center),
             kind: Candidate::Node(&self.root),
         });
-        while let Some(item) = heap.pop() {
-            match item.kind {
-                Candidate::Node(node) => {
-                    stats.nodes_visited += 1;
-                    if node.is_leaf() {
-                        for e in &node.entries {
-                            stats.entries_checked += 1;
-                            heap.push(HeapItem {
-                                dist_sq: e.point.distance_squared(center),
-                                kind: Candidate::Entry(&e.point, &e.data),
-                            });
-                        }
-                    } else {
-                        for c in &node.children {
-                            heap.push(HeapItem {
-                                dist_sq: c.mbr.min_dist_squared(center),
-                                kind: Candidate::Node(c),
-                            });
-                        }
-                    }
-                }
-                Candidate::Entry(point, data) => {
-                    stats.results += 1;
-                    out.push((item.dist_sq.sqrt(), point, data));
-                    if out.len() == k {
-                        break;
-                    }
-                }
-            }
-        }
-        out
+        knn_best_first(center, k, &mut scratch.heap, stats, out);
     }
 
     /// Returns a lazy iterator over all records in **ascending distance**
@@ -198,10 +248,6 @@ impl<const D: usize, T> RTree<D, T> {
         std::iter::from_fn(move || loop {
             let node = stack.pop()?;
             if node.is_leaf() {
-                // Leaves are flattened lazily through a nested iterator is
-                // overkill here; instead push entries via index trickery.
-                // Simpler: return them through a buffer on the stack.
-                // (Handled by the outer flat_map below.)
                 return Some(node);
             }
             stack.extend(node.children.iter());
@@ -238,11 +284,12 @@ impl<const D: usize, T> Ord for HeapItem<'_, D, T> {
     }
 }
 
-fn rect_rec<const D: usize, T>(
-    node: &Node<D, T>,
+// HOT-PATH: rectangle range-query descent (Phase 1 inner loop)
+fn rect_rec<'a, const D: usize, T>(
+    node: &'a Node<D, T>,
     rect: &Rect<D>,
     stats: &mut SearchStats,
-    visit: &mut impl FnMut(&Vector<D>, &T),
+    visit: &mut impl FnMut(&'a Vector<D>, &'a T),
 ) {
     stats.nodes_visited += 1;
     if node.is_leaf() {
@@ -262,36 +309,13 @@ fn rect_rec<const D: usize, T>(
     }
 }
 
-fn rect_collect<'a, const D: usize, T>(
+// HOT-PATH: ball range-query descent (Phase 1 inner loop)
+fn ball_rec<'a, const D: usize, T>(
     node: &'a Node<D, T>,
-    rect: &Rect<D>,
-    stats: &mut SearchStats,
-    out: &mut Vec<(&'a Vector<D>, &'a T)>,
-) {
-    stats.nodes_visited += 1;
-    if node.is_leaf() {
-        for e in &node.entries {
-            stats.entries_checked += 1;
-            if rect.contains_point(&e.point) {
-                stats.results += 1;
-                out.push((&e.point, &e.data));
-            }
-        }
-    } else {
-        for c in &node.children {
-            if rect.intersects(&c.mbr) {
-                rect_collect(c, rect, stats, out);
-            }
-        }
-    }
-}
-
-fn ball_rec<const D: usize, T>(
-    node: &Node<D, T>,
     center: &Vector<D>,
     radius_sq: f64,
     stats: &mut SearchStats,
-    visit: &mut impl FnMut(&Vector<D>, &T),
+    visit: &mut impl FnMut(&'a Vector<D>, &'a T),
 ) {
     stats.nodes_visited += 1;
     if node.is_leaf() {
@@ -311,26 +335,41 @@ fn ball_rec<const D: usize, T>(
     }
 }
 
-fn ball_collect<'a, const D: usize, T>(
-    node: &'a Node<D, T>,
+// HOT-PATH: k-NN best-first loop (Hjaltason–Samet) over caller-owned buffers
+fn knn_best_first<'a, const D: usize, T>(
     center: &Vector<D>,
-    radius_sq: f64,
+    k: usize,
+    heap: &mut BinaryHeap<HeapItem<'a, D, T>>,
     stats: &mut SearchStats,
-    out: &mut Vec<(&'a Vector<D>, &'a T)>,
+    out: &mut Vec<(f64, &'a Vector<D>, &'a T)>,
 ) {
-    stats.nodes_visited += 1;
-    if node.is_leaf() {
-        for e in &node.entries {
-            stats.entries_checked += 1;
-            if e.point.distance_squared(center) <= radius_sq {
-                stats.results += 1;
-                out.push((&e.point, &e.data));
+    while let Some(item) = heap.pop() {
+        match item.kind {
+            Candidate::Node(node) => {
+                stats.nodes_visited += 1;
+                if node.is_leaf() {
+                    for e in &node.entries {
+                        stats.entries_checked += 1;
+                        heap.push(HeapItem {
+                            dist_sq: e.point.distance_squared(center),
+                            kind: Candidate::Entry(&e.point, &e.data),
+                        });
+                    }
+                } else {
+                    for c in &node.children {
+                        heap.push(HeapItem {
+                            dist_sq: c.mbr.min_dist_squared(center),
+                            kind: Candidate::Node(c),
+                        });
+                    }
+                }
             }
-        }
-    } else {
-        for c in &node.children {
-            if c.mbr.min_dist_squared(center) <= radius_sq {
-                ball_collect(c, center, radius_sq, stats, out);
+            Candidate::Entry(point, data) => {
+                stats.results += 1;
+                out.push((item.dist_sq.sqrt(), point, data));
+                if out.len() == k {
+                    return;
+                }
             }
         }
     }

@@ -228,6 +228,11 @@ impl<const D: usize, T> RTree<D, T> {
     /// * every node's MBR tightly bounds its contents,
     /// * occupancy is within `[m, M]` for all non-root nodes,
     /// * all leaves sit at level 0 and levels decrease by one per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant (there is no error taxonomy worth an enum here).
     pub fn validate(&self) -> Result<(), String> {
         let mut count = 0usize;
         validate_rec(&self.root, self.params, true, &mut count)?;

@@ -110,6 +110,7 @@ mod tests {
             snippet: snippet.to_owned(),
             message: String::new(),
             severity: Severity::Error,
+            chain: Vec::new(),
         }
     }
 

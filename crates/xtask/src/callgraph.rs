@@ -1,0 +1,648 @@
+//! Workspace call graph and the transitive rules built on it.
+//!
+//! The graph is built from [`crate::parser::FileAnalysis`] of every
+//! library file in the four panic-free crates. Call edges are resolved
+//! *by name*, conservatively:
+//!
+//! * method calls (`x.f(...)`) link to **every** workspace method named
+//!   `f` (dynamic dispatch over-approximation — a trait call must reach
+//!   all impls);
+//! * qualified calls (`Q::f(...)`) link to functions declared in an
+//!   `impl Q`/`trait Q` scope; an uppercase qualifier with no workspace
+//!   match is an external type (`Vec::new`) and produces no edge, while
+//!   a lowercase qualifier is a module path and falls back to free-
+//!   function resolution;
+//! * free calls link to same-file, then same-crate, then any workspace
+//!   function of that name.
+//!
+//! Closures are invisible to the graph (a call through a closure
+//! parameter resolves to nothing), but the *bodies* of closures are
+//! token ranges of their defining function, so their call sites are
+//! attributed to the enclosing function — the common
+//! `descend(node, &mut |entry| out.push(entry))` shape keeps the
+//! caller's pushes attributed to the caller, where the `&mut`-parameter
+//! exemption can judge them. Shims, workloads, and benches sit outside
+//! the graph by design: they are the documented trust boundary.
+
+use crate::parser::{Call, CallKind, EnumInfo, FileAnalysis, FnInfo, HotPathMarker, QualRef};
+use crate::rules::{Severity, Violation};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crates included in the graph (same set as the panic-free rule).
+pub const GRAPH_CRATES: [&str; 4] = [
+    "crates/linalg",
+    "crates/gaussian",
+    "crates/rtree",
+    "crates/core",
+];
+
+/// Allocation-site method names (`x.f(...)` shapes that allocate).
+const ALLOC_METHODS: [&str; 9] = [
+    "push",
+    "extend",
+    "append",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "clone",
+    "insert",
+];
+
+/// Allocation-site constructor paths (`Type::f(...)` shapes).
+const ALLOC_TYPES: [&str; 7] = [
+    "Vec",
+    "Box",
+    "String",
+    "VecDeque",
+    "BinaryHeap",
+    "BTreeMap",
+    "HashMap",
+];
+
+/// Allocation-site macros.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Panic-family macros checked by the reachability rule. `debug_assert*`
+/// is exempt: compiled out of release builds.
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Summary counts for the report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallGraphStats {
+    /// Functions in the graph (non-test, graph crates).
+    pub functions: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// `// HOT-PATH:` roots.
+    pub hot_roots: usize,
+    /// Public entry points (panic-reachability roots).
+    pub pub_roots: usize,
+}
+
+/// The merged workspace analysis plus the resolved call graph.
+pub struct Analysis {
+    /// Graph nodes: non-test functions of the graph crates.
+    pub fns: Vec<FnInfo>,
+    /// All parsed enums (workspace-wide).
+    pub enums: Vec<EnumInfo>,
+    /// All `// HOT-PATH:` markers (workspace-wide).
+    pub hot_markers: Vec<HotPathMarker>,
+    /// All `Qual::name` references (workspace-wide, incl. tests).
+    pub qual_refs: Vec<QualRef>,
+    /// `edges[i]` = indices of functions `fns[i]` may call.
+    pub edges: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.splitn(3, '/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(c)) => c,
+        _ => "",
+    }
+}
+
+fn in_graph(path: &str) -> bool {
+    GRAPH_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("{c}/src/")))
+}
+
+impl Analysis {
+    /// Merges per-file analyses and resolves call edges.
+    pub fn build(files: &[(String, FileAnalysis)]) -> Analysis {
+        let mut fns = Vec::new();
+        let mut enums = Vec::new();
+        let mut hot_markers = Vec::new();
+        let mut qual_refs = Vec::new();
+        for (path, fa) in files {
+            // Dogfooding exclusion: the auditor's own sources mention
+            // marker strings and enum names as rule data.
+            if path.starts_with("crates/xtask") {
+                continue;
+            }
+            enums.extend(fa.enums.iter().cloned());
+            hot_markers.extend(fa.hot_markers.iter().cloned());
+            qual_refs.extend(fa.qual_refs.iter().cloned());
+            if in_graph(path) {
+                fns.extend(fa.fns.iter().filter(|f| !f.in_test).cloned());
+            }
+        }
+
+        // Name indexes.
+        let mut by_qual_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            if let Some(q) = &f.qual {
+                by_qual_name
+                    .entry((q.clone(), f.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+            if f.has_self {
+                methods_by_name.entry(f.name.clone()).or_default().push(i);
+            } else {
+                free_by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        let mut edge_count = 0usize;
+        for i in 0..fns.len() {
+            let mut targets = BTreeSet::new();
+            for call in &fns[i].calls {
+                resolve(
+                    &fns,
+                    i,
+                    call,
+                    &by_qual_name,
+                    &methods_by_name,
+                    &free_by_name,
+                    &mut targets,
+                );
+            }
+            edge_count += targets.len();
+            edges[i] = targets.into_iter().collect();
+        }
+        Analysis {
+            fns,
+            enums,
+            hot_markers,
+            qual_refs,
+            edges,
+            edge_count,
+        }
+    }
+
+    /// Report summary counts.
+    pub fn stats(&self) -> CallGraphStats {
+        CallGraphStats {
+            functions: self.fns.len(),
+            edges: self.edge_count,
+            hot_roots: self.fns.iter().filter(|f| f.hot_marker.is_some()).count(),
+            pub_roots: self.fns.iter().filter(|f| f.is_pub).count(),
+        }
+    }
+
+    /// Multi-source BFS. Returns `pred[i] = Some(j)` for each reached
+    /// node (`pred[root] = Some(root)`), `None` for unreached.
+    fn reach(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut pred: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if pred[r].is_none() {
+                pred[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if pred[v].is_none() {
+                    pred[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Renders the predecessor chain `root -> ... -> target` as
+    /// qualified names.
+    fn chain(&self, pred: &[Option<usize>], target: usize) -> Vec<String> {
+        let mut chain = vec![self.fns[target].qual_name()];
+        let mut cur = target;
+        // Bounded walk: a predecessor cycle cannot exceed the node count.
+        for _ in 0..self.fns.len() {
+            match pred[cur] {
+                Some(p) if p != cur => {
+                    chain.push(self.fns[p].qual_name());
+                    cur = p;
+                }
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// `hot-path-alloc`: no allocation site reachable from a
+    /// `// HOT-PATH:` root. `.push`/`.extend`/`.append` on a receiver
+    /// that is a `&mut` parameter of the enclosing function is exempt
+    /// (the caller-owned-buffer shape the rule exists to encourage).
+    /// Dangling markers (not attached to any `fn`) are violations too.
+    pub fn check_hot_path_alloc(&self, sources: &Sources, out: &mut Vec<Violation>) {
+        for m in &self.hot_markers {
+            if m.attached_fn.is_none() {
+                out.push(Violation {
+                    rule: "hot-path-alloc",
+                    path: m.path.clone(),
+                    line: m.line,
+                    snippet: sources.line(&m.path, m.line),
+                    message: "dangling `// HOT-PATH:` marker — no `fn` starts within \
+                              the attachment window below it"
+                        .to_owned(),
+                    severity: Severity::Error,
+                    chain: Vec::new(),
+                });
+            }
+        }
+        let roots: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.hot_marker.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let pred = self.reach(&roots);
+        for (i, f) in self.fns.iter().enumerate() {
+            if pred[i].is_none() {
+                continue;
+            }
+            for call in &f.calls {
+                let Some(desc) = alloc_site(f, call) else {
+                    continue;
+                };
+                let mut chain = self.chain(&pred, i);
+                chain.push(format!("<{desc}>"));
+                out.push(Violation {
+                    rule: "hot-path-alloc",
+                    path: f.path.clone(),
+                    line: call.line,
+                    snippet: sources.line(&f.path, call.line),
+                    message: format!(
+                        "allocation site `{desc}` reachable from hot root \
+                         `{}` — hot paths allocate nothing per candidate \
+                         (DESIGN.md §7); reuse a caller-owned buffer",
+                        chain.first().cloned().unwrap_or_default()
+                    ),
+                    severity: Severity::Error,
+                    chain,
+                });
+            }
+        }
+    }
+
+    /// `panic-reachability`: no panic-family site transitively reachable
+    /// from a public entry point of the graph crates. Sites inside a
+    /// function whose doc block declares `# Panics` are exempt — the
+    /// contract is documented API, per the Rust API guidelines.
+    pub fn check_panic_reachability(&self, sources: &Sources, out: &mut Vec<Violation>) {
+        let roots: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_pub)
+            .map(|(i, _)| i)
+            .collect();
+        let pred = self.reach(&roots);
+        for (i, f) in self.fns.iter().enumerate() {
+            if pred[i].is_none() || f.doc_has_panics {
+                continue;
+            }
+            for call in &f.calls {
+                let Some(desc) = panic_site(call) else {
+                    continue;
+                };
+                let chain = self.chain(&pred, i);
+                out.push(Violation {
+                    rule: "panic-reachability",
+                    path: f.path.clone(),
+                    line: call.line,
+                    snippet: sources.line(&f.path, call.line),
+                    message: format!(
+                        "`{desc}` reachable from public entry `{}` — return \
+                         `Result`, downgrade to `debug_assert!`, or document \
+                         a `# Panics` section on the containing fn",
+                        chain.first().cloned().unwrap_or_default()
+                    ),
+                    severity: Severity::Error,
+                    chain,
+                });
+            }
+        }
+    }
+
+    /// `error-docs` (cross-file half): every variant of the listed error
+    /// enums must be constructed somewhere outside tests. A reference in
+    /// pattern position (match arm, `if let`) does not count.
+    pub fn check_error_variants_constructed(&self, out: &mut Vec<Violation>) {
+        const CHECKED_ENUMS: [&str; 1] = ["PrqError"];
+        for e in &self.enums {
+            if !CHECKED_ENUMS.contains(&e.name.as_str()) {
+                continue;
+            }
+            for (variant, line) in &e.variants {
+                let constructed = self
+                    .qual_refs
+                    .iter()
+                    .any(|r| r.qual == e.name && &r.name == variant && !r.in_test && !r.is_pattern);
+                if !constructed {
+                    out.push(Violation {
+                        rule: "error-docs",
+                        path: e.path.clone(),
+                        line: *line,
+                        snippet: format!("{}::{variant}", e.name),
+                        message: format!(
+                            "error variant `{}::{variant}` is never constructed \
+                             outside tests — dead error surface; remove it or \
+                             wire it to the failure it describes",
+                            e.name
+                        ),
+                        severity: Severity::Error,
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Describes `call` as an allocation site, if it is one.
+fn alloc_site(f: &FnInfo, call: &Call) -> Option<String> {
+    match call.kind {
+        CallKind::Macro if ALLOC_MACROS.contains(&call.name.as_str()) => {
+            Some(format!("{}!", call.name))
+        }
+        CallKind::Method if ALLOC_METHODS.contains(&call.name.as_str()) => {
+            // Caller-owned buffer exemption: growth of a `&mut` parameter
+            // is the caller's capacity, amortized across the query.
+            let grows_param = matches!(call.name.as_str(), "push" | "extend" | "append")
+                && call
+                    .receiver
+                    .as_deref()
+                    .is_some_and(|r| f.params.iter().any(|p| p.by_mut_ref && p.name == r));
+            if grows_param {
+                None
+            } else {
+                Some(format!(".{}()", call.name))
+            }
+        }
+        CallKind::Path
+            if call
+                .qual
+                .as_deref()
+                .is_some_and(|q| ALLOC_TYPES.contains(&q)) =>
+        {
+            Some(format!(
+                "{}::{}",
+                call.qual.as_deref().unwrap_or(""),
+                call.name
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Describes `call` as a panic-family site, if it is one.
+fn panic_site(call: &Call) -> Option<String> {
+    match call.kind {
+        CallKind::Macro if PANIC_MACROS.contains(&call.name.as_str()) => {
+            Some(format!("{}!", call.name))
+        }
+        CallKind::Method if matches!(call.name.as_str(), "unwrap" | "expect") => {
+            Some(format!(".{}()", call.name))
+        }
+        _ => None,
+    }
+}
+
+fn resolve(
+    fns: &[FnInfo],
+    caller: usize,
+    call: &Call,
+    by_qual_name: &BTreeMap<(String, String), Vec<usize>>,
+    methods_by_name: &BTreeMap<String, Vec<usize>>,
+    free_by_name: &BTreeMap<String, Vec<usize>>,
+    targets: &mut BTreeSet<usize>,
+) {
+    match call.kind {
+        CallKind::Macro => {}
+        CallKind::Method => {
+            // Dynamic-dispatch over-approximation: every method of this
+            // name, workspace-wide.
+            if let Some(c) = methods_by_name.get(&call.name) {
+                targets.extend(c.iter().copied());
+            }
+        }
+        CallKind::Path => {
+            let qual = call.qual.as_deref().unwrap_or("");
+            if let Some(c) = by_qual_name.get(&(qual.to_owned(), call.name.clone())) {
+                targets.extend(c.iter().copied());
+            } else if qual == "Self" || qual == "self" {
+                // `Self::helper()` — functions sharing the caller's impl
+                // qualifier, else any free fn of that name.
+                let caller_qual = fns[caller].qual.as_deref();
+                let mut matched = false;
+                for (i, f) in fns.iter().enumerate() {
+                    if f.name == call.name && f.qual.as_deref() == caller_qual {
+                        targets.insert(i);
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    pick_free(fns, caller, &call.name, free_by_name, targets);
+                }
+            } else if qual.starts_with(|c: char| c.is_lowercase()) {
+                // Module-qualified free call (`theta_region::r_theta_exact`).
+                pick_free(fns, caller, &call.name, free_by_name, targets);
+            }
+            // Uppercase qualifier with no workspace match: external type
+            // (`Vec::new`, `f64::sqrt`) — no edge.
+        }
+        CallKind::Free => {
+            pick_free(fns, caller, &call.name, free_by_name, targets);
+        }
+    }
+}
+
+/// Free-call resolution: same file beats same crate beats workspace.
+fn pick_free(
+    fns: &[FnInfo],
+    caller: usize,
+    name: &str,
+    free_by_name: &BTreeMap<String, Vec<usize>>,
+    targets: &mut BTreeSet<usize>,
+) {
+    let Some(cands) = free_by_name.get(name) else {
+        return;
+    };
+    let caller_path = fns[caller].path.as_str();
+    let caller_crate = crate_of(caller_path);
+    let same_file: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].path == caller_path)
+        .collect();
+    if !same_file.is_empty() {
+        targets.extend(same_file);
+        return;
+    }
+    let same_crate: Vec<usize> = cands
+        .iter()
+        .copied()
+        .filter(|&i| crate_of(&fns[i].path) == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        targets.extend(same_crate);
+        return;
+    }
+    targets.extend(cands.iter().copied());
+}
+
+/// Raw file sources keyed by workspace-relative path, for snippet
+/// extraction in diagnostics.
+#[derive(Default)]
+pub struct Sources {
+    map: BTreeMap<String, String>,
+}
+
+impl Sources {
+    /// Registers one file's source text.
+    pub fn insert(&mut self, path: &str, source: &str) {
+        self.map.insert(path.to_owned(), source.to_owned());
+    }
+
+    /// The trimmed text of `line` (1-based) in `path`, or empty.
+    pub fn line(&self, path: &str, line: usize) -> String {
+        self.map
+            .get(path)
+            .and_then(|s| s.lines().nth(line.saturating_sub(1)))
+            .unwrap_or("")
+            .trim()
+            .to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn analyze(files: &[(&str, &str)]) -> (Analysis, Sources) {
+        let mut parsed = Vec::new();
+        let mut sources = Sources::default();
+        for (path, src) in files {
+            parsed.push((path.to_string(), parse_file(path, src, &lex(src))));
+            sources.insert(path, src);
+        }
+        (Analysis::build(&parsed), sources)
+    }
+
+    const HOT_CALLER: &str = "crates/core/src/hot.rs";
+
+    #[test]
+    fn alloc_two_calls_below_a_hot_root_is_found_with_chain() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: per-candidate predicate\n\
+             pub fn passes(x: f64) -> bool { helper(x) }\n\
+             fn helper(x: f64) -> bool { deep(x) }\n\
+             fn deep(x: f64) -> bool { let v = Vec::new(); v.is_empty() }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_alloc(&s, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "hot-path-alloc");
+        assert_eq!(out[0].line, 4);
+        assert_eq!(out[0].chain, vec!["passes", "helper", "deep", "<Vec::new>"]);
+    }
+
+    #[test]
+    fn push_to_mut_param_is_exempt_but_local_push_is_not() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: descent\n\
+             pub fn descend(out: &mut Vec<u32>) { out.push(1); local(); }\n\
+             fn local() { let mut v: Vec<u32> = Vec::with_capacity(4); v.push(2); }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_alloc(&s, &mut out);
+        // `out.push` exempt; `Vec::with_capacity` + `v.push` both flagged.
+        assert_eq!(out.len(), 2, "{out:#?}");
+        assert!(out.iter().all(|v| v.line == 3));
+    }
+
+    #[test]
+    fn panic_reachable_from_pub_entry_unless_documented() {
+        let (a, s) = analyze(&[(
+            "crates/gaussian/src/p.rs",
+            "pub fn entry(x: f64) -> f64 { inner(x) }\n\
+             fn inner(x: f64) -> f64 { assert!(x > 0.0); x }\n\
+             /// # Panics\n\
+             pub fn documented(x: f64) -> f64 { assert!(x > 0.0); x }\n\
+             fn unreached() { panic!(\"never\") }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_panic_reachability(&s, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[0].chain, vec!["entry", "inner"]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_to_all_impls() {
+        let (a, s) = analyze(&[(
+            "crates/core/src/e.rs",
+            "pub fn run(ev: &dyn Ev) { ev.probability(); }\n\
+             struct A; impl A { fn probability(&self) { panic!(\"boom\") } }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_panic_reachability(&s, &mut out);
+        assert_eq!(out.len(), 1, "dynamic dispatch must reach impls: {out:#?}");
+        assert_eq!(out[0].chain, vec!["run", "A::probability"]);
+    }
+
+    #[test]
+    fn dangling_hot_marker_is_flagged() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: attached to nothing\npub struct X;\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_alloc(&s, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("dangling"));
+    }
+
+    #[test]
+    fn unconstructed_error_variant_is_flagged_pattern_does_not_count() {
+        let (a, _) = analyze(&[(
+            "crates/core/src/error.rs",
+            "pub enum PrqError { Used(f64), OnlyMatched, Dead }\n\
+             pub fn mk(x: f64) -> PrqError { PrqError::Used(x) }\n\
+             pub fn show(e: &PrqError) -> u8 {\n\
+                 match e { PrqError::OnlyMatched => 1, _ => 0 }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_error_variants_constructed(&mut out);
+        let names: Vec<&str> = out.iter().map(|v| v.snippet.as_str()).collect();
+        assert!(names.contains(&"PrqError::OnlyMatched"), "{out:#?}");
+        assert!(names.contains(&"PrqError::Dead"), "{out:#?}");
+        assert!(!names.contains(&"PrqError::Used"), "{out:#?}");
+    }
+
+    #[test]
+    fn vec_new_does_not_resolve_to_workspace_constructors() {
+        let (a, _) = analyze(&[(
+            "crates/rtree/src/t.rs",
+            "pub struct RTree; impl RTree { pub fn new() -> Self { panic!(\"ctor\") } }\n\
+             // HOT-PATH: leaf predicate\n\
+             pub fn hot() -> Vec<u32> { Vec::new() }\n",
+        )]);
+        // `Vec::new` must not create an edge to `RTree::new`.
+        let hot = a.fns.iter().position(|f| f.name == "hot").unwrap();
+        assert!(a.edges[hot].is_empty(), "edges: {:?}", a.edges[hot]);
+    }
+}

@@ -16,12 +16,20 @@
 //! | `crate-root-attrs`  | every crate root has `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
 //! | `invariant-marker`  | conservative-lookup functions carry `// INVARIANT:` markers, indexed into the report |
 //! | `stale-allowlist`   | allowlist entries that no longer match anything fail the audit |
+//! | `hot-path-alloc`    | no allocation site transitively reachable from a `// HOT-PATH:` root (call graph) |
+//! | `panic-reachability`| no panic-family site transitively reachable from a public entry point, unless the containing fn documents `# Panics` (call graph) |
+//! | `lossy-cast`        | no `as` cast to a narrower integer type in `linalg`/`gaussian`/`core` |
+//! | `error-docs`        | public `Result`-returning fns document `# Errors`; every `PrqError` variant is constructed outside tests |
 //!
 //! Run locally with `cargo xtask audit`; see DESIGN.md §"Invariants &
-//! static analysis" for the allowlist policy.
+//! static analysis" for the allowlist policy, the `// HOT-PATH:` marker
+//! convention, and the call-graph resolution rules. `cargo xtask
+//! markers` prints (or, with `--check`, verifies) the committed
+//! marker-index snapshot `audit-markers.txt`.
 //!
 //! The build environment is offline (no `syn`), so the auditor uses its
-//! own minimal lexer ([`lexer`]) and pattern-matches token streams. The
+//! own minimal lexer ([`lexer`]) and a hand-rolled item parser
+//! ([`parser`]) feeding a name-resolved call graph ([`callgraph`]). The
 //! trade-off is documented per rule; fixture self-tests under
 //! `tests/fixtures/` pin the expected behavior of each rule.
 
@@ -29,11 +37,15 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
+use callgraph::{Analysis, Sources};
+use parser::FileAnalysis;
 use report::AuditReport;
 use rules::{RuleSet, Violation};
 use std::path::Path;
@@ -42,7 +54,9 @@ use std::path::Path;
 pub const ALLOWLIST_FILE: &str = "audit-allowlist.txt";
 
 /// Audits a single file's source under the given rule set, appending
-/// findings. Used by both the workspace audit and the fixture tests.
+/// findings, and returns the parsed analysis so callers can feed the
+/// workspace call graph. Used by both the workspace audit and the
+/// fixture tests.
 pub fn audit_source(
     rel_path: &str,
     source: &str,
@@ -51,16 +65,41 @@ pub fn audit_source(
     check_invariants: bool,
     violations: &mut Vec<Violation>,
     invariants: &mut Vec<rules::InvariantMarker>,
-) {
+) -> FileAnalysis {
     let toks = lexer::lex(source);
-    rules::check_tokens(rel_path, source, &toks, rule_set, violations);
+    let analysis = parser::parse_file(rel_path, source, &toks);
+    rules::check_tokens(rel_path, source, &toks, rule_set, &analysis, violations);
+    if rule_set.error_docs {
+        rules::check_error_docs(rel_path, source, &analysis, violations);
+    }
     if is_crate_root {
         rules::check_crate_root(rel_path, source, violations);
     }
     if check_invariants {
         rules::check_invariant_markers(rel_path, source, violations);
     }
-    rules::collect_invariants(rel_path, source, invariants);
+    // Dogfooding exclusion: the auditor's own sources mention the marker
+    // strings as rule data and must not pollute the index.
+    if !rel_path.starts_with("crates/xtask") {
+        rules::collect_invariants(rel_path, source, invariants);
+    }
+    analysis
+}
+
+/// Runs the call-graph rules over a set of parsed files, appending
+/// findings and returning the merged analysis (for report stats and
+/// the marker index). Split out so fixture tests can run the graph
+/// rules over a single file.
+pub fn run_graph_checks(
+    files: &[(String, FileAnalysis)],
+    sources: &Sources,
+    violations: &mut Vec<Violation>,
+) -> Analysis {
+    let analysis = Analysis::build(files);
+    analysis.check_hot_path_alloc(sources, violations);
+    analysis.check_panic_reachability(sources, violations);
+    analysis.check_error_variants_constructed(violations);
+    analysis
 }
 
 /// Runs the full audit over the workspace rooted at `root`.
@@ -68,10 +107,12 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
     let files = workspace::rust_files(root).map_err(|e| format!("walking workspace: {e}"))?;
     let mut violations = Vec::new();
     let mut invariants = Vec::new();
+    let mut parsed = Vec::new();
+    let mut sources = Sources::default();
     for rel in &files {
         let source =
             std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        audit_source(
+        let analysis = audit_source(
             rel,
             &source,
             workspace::classify(rel),
@@ -80,7 +121,10 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
             &mut violations,
             &mut invariants,
         );
+        sources.insert(rel, &source);
+        parsed.push((rel.clone(), analysis));
     }
+    let analysis = run_graph_checks(&parsed, &sources, &mut violations);
 
     let allowlist_path = root.join(ALLOWLIST_FILE);
     let allowlist = if allowlist_path.is_file() {
@@ -98,6 +142,8 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
         allowlist,
         unused_allowlist,
         invariants,
+        hot_paths: analysis.hot_markers.clone(),
+        callgraph: analysis.stats(),
         files_scanned: files.len(),
     })
 }

@@ -1,15 +1,22 @@
 //! CLI entry point: `cargo xtask audit [--fix-report <path>] [--root
-//! <path>] [--warnings]`.
+//! <path>] [--warnings]` and `cargo xtask markers [--check] [--root
+//! <path>]`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::process::ExitCode;
 
+/// Committed snapshot of the marker index, kept current by
+/// `cargo xtask markers > audit-markers.txt` and enforced by the CI
+/// `markers --check` lane.
+const MARKERS_FILE: &str = "audit-markers.txt";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("audit") => audit(&args[1..]),
+        Some("markers") => markers(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand `{other}`");
             usage();
@@ -25,15 +32,119 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo xtask audit [--fix-report <path>] [--root <path>] [--warnings]\n\
+         \x20      cargo xtask markers [--check] [--root <path>]\n\
          \n\
-         Audits the workspace against the invariant rules described in\n\
+         audit: checks the workspace against the invariant rules described in\n\
          DESIGN.md §\"Invariants & static analysis\".\n\
          \n\
          options:\n\
-           --fix-report <path>  also write a machine-readable JSON report\n\
+           --fix-report <path>  also write a machine-readable JSON report (schema v2)\n\
            --root <path>        workspace root (default: walk up from cwd)\n\
-           --warnings           print heuristic warnings (never fail the audit)"
+           --warnings           print heuristic warnings (never fail the audit)\n\
+         \n\
+         markers: prints the INVARIANT / HOT-PATH marker index; with --check,\n\
+         diffs it against the committed `audit-markers.txt` snapshot and fails\n\
+         on drift (regenerate with `cargo xtask markers > audit-markers.txt`)."
     );
+}
+
+/// Renders the marker index in the committed snapshot format.
+fn render_markers(report: &xtask::report::AuditReport) -> String {
+    use std::fmt::Write as _;
+    let mut lines = Vec::new();
+    for m in &report.invariants {
+        lines.push(format!("INVARIANT {}:{} {}", m.path, m.line, m.text));
+    }
+    for m in &report.hot_paths {
+        lines.push(format!(
+            "HOT-PATH {}:{} [{}] {}",
+            m.path,
+            m.line,
+            m.attached_fn.as_deref().unwrap_or("-"),
+            m.text
+        ));
+    }
+    lines.sort();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Marker index — regenerate with `cargo xtask markers > {MARKERS_FILE}`."
+    );
+    let _ = writeln!(
+        out,
+        "# CI fails if this snapshot drifts from the source markers, so every"
+    );
+    let _ = writeln!(
+        out,
+        "# added/moved/removed INVARIANT or HOT-PATH marker is reviewed here."
+    );
+    for l in lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+fn markers(args: &[String]) -> ExitCode {
+    let mut check = false;
+    let mut root_arg: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(p.clone()),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match xtask::workspace::find_root(root_arg.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match xtask::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = render_markers(&report);
+    if !check {
+        print!("{rendered}");
+        return ExitCode::SUCCESS;
+    }
+    let snapshot_path = root.join(MARKERS_FILE);
+    let committed = std::fs::read_to_string(&snapshot_path).unwrap_or_default();
+    if committed == rendered {
+        println!(
+            "markers: snapshot up to date ({} invariant, {} hot-path)",
+            report.invariants.len(),
+            report.hot_paths.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("markers: `{MARKERS_FILE}` is stale — marker index drifted:");
+    let committed_lines: std::collections::BTreeSet<&str> = committed.lines().collect();
+    let current_lines: std::collections::BTreeSet<&str> = rendered.lines().collect();
+    for gone in committed_lines.difference(&current_lines) {
+        eprintln!("  - {gone}");
+    }
+    for added in current_lines.difference(&committed_lines) {
+        eprintln!("  + {added}");
+    }
+    eprintln!("regenerate with: cargo xtask markers > {MARKERS_FILE}");
+    ExitCode::FAILURE
 }
 
 fn audit(args: &[String]) -> ExitCode {

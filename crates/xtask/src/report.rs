@@ -1,7 +1,13 @@
 //! Human and machine-readable audit reports.
 
 use crate::allowlist::AllowEntry;
+use crate::callgraph::CallGraphStats;
+use crate::parser::HotPathMarker;
 use crate::rules::{InvariantMarker, Violation};
+
+/// JSON report schema version. v2 added `hot_paths`, `callgraph`, and
+/// per-violation `chain` arrays.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Complete result of one audit run.
 #[derive(Debug)]
@@ -17,6 +23,10 @@ pub struct AuditReport {
     pub unused_allowlist: Vec<usize>,
     /// Every `// INVARIANT:` marker in the workspace.
     pub invariants: Vec<InvariantMarker>,
+    /// Every `// HOT-PATH:` marker in the workspace.
+    pub hot_paths: Vec<HotPathMarker>,
+    /// Call-graph summary counts.
+    pub callgraph: CallGraphStats,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -56,9 +66,13 @@ impl AuditReport {
             };
             let _ = writeln!(
                 out,
-                "{tag}[{}]: {}\n  --> {}:{}\n   | {}\n",
+                "{tag}[{}]: {}\n  --> {}:{}\n   | {}",
                 v.rule, v.message, v.path, v.line, v.snippet
             );
+            if !v.chain.is_empty() {
+                let _ = writeln!(out, "   = via {}", v.chain.join(" -> "));
+            }
+            let _ = writeln!(out);
         }
         for &i in &self.unused_allowlist {
             let e = &self.allowlist[i];
@@ -71,13 +85,16 @@ impl AuditReport {
         }
         let _ = writeln!(
             out,
-            "audit: {} file(s) scanned, {} error(s), {} warning(s), {} allowlisted, \
-             {} invariant marker(s) indexed",
+            "audit: {} file(s) scanned, {} fn(s) / {} call edge(s) in graph, {} error(s), \
+             {} warning(s), {} allowlisted, {} invariant + {} hot-path marker(s) indexed",
             self.files_scanned,
+            self.callgraph.functions,
+            self.callgraph.edges,
             errors,
             warnings,
             self.suppressed.len(),
-            self.invariants.len()
+            self.invariants.len(),
+            self.hot_paths.len()
         );
         out
     }
@@ -87,18 +104,27 @@ impl AuditReport {
         use crate::rules::Severity;
         let mut out = String::from("{\n");
         out.push_str(&format!(
-            "  \"files_scanned\": {},\n  \"failed\": {},\n",
+            "  \"schema_version\": {SCHEMA_VERSION},\n  \"files_scanned\": {},\n  \"failed\": {},\n",
             self.files_scanned,
             self.failed()
+        ));
+        out.push_str(&format!(
+            "  \"callgraph\": {{\"functions\": {}, \"edges\": {}, \"hot_roots\": {}, \
+             \"pub_roots\": {}}},\n",
+            self.callgraph.functions,
+            self.callgraph.edges,
+            self.callgraph.hot_roots,
+            self.callgraph.pub_roots
         ));
         out.push_str("  \"violations\": [\n");
         let items: Vec<String> = self
             .active
             .iter()
             .map(|v| {
+                let chain: Vec<String> = v.chain.iter().map(|c| json_str(c)).collect();
                 format!(
                     "    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \
-                     \"snippet\": {}, \"message\": {}}}",
+                     \"snippet\": {}, \"message\": {}, \"chain\": [{}]}}",
                     json_str(v.rule),
                     json_str(match v.severity {
                         Severity::Error => "error",
@@ -107,7 +133,8 @@ impl AuditReport {
                     json_str(&v.path),
                     v.line,
                     json_str(&v.snippet),
-                    json_str(&v.message)
+                    json_str(&v.message),
+                    chain.join(", ")
                 )
             })
             .collect();
@@ -137,6 +164,21 @@ impl AuditReport {
                     json_str(&m.path),
                     m.line,
                     json_str(&m.text)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"hot_paths\": [\n");
+        let items: Vec<String> = self
+            .hot_paths
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"path\": {}, \"line\": {}, \"text\": {}, \"attached_fn\": {}}}",
+                    json_str(&m.path),
+                    m.line,
+                    json_str(&m.text),
+                    m.attached_fn.as_deref().map_or("null".to_owned(), json_str)
                 )
             })
             .collect();
@@ -184,6 +226,8 @@ mod tests {
             allowlist: Vec::new(),
             unused_allowlist: Vec::new(),
             invariants: Vec::new(),
+            hot_paths: Vec::new(),
+            callgraph: CallGraphStats::default(),
             files_scanned: 0,
         };
         assert!(!report.failed());
@@ -194,6 +238,7 @@ mod tests {
             snippet: String::new(),
             message: String::new(),
             severity: Severity::Warning,
+            chain: Vec::new(),
         });
         assert!(!report.failed(), "warnings alone must not fail the audit");
         report.active.push(Violation {
@@ -203,6 +248,7 @@ mod tests {
             snippet: String::new(),
             message: String::new(),
             severity: Severity::Error,
+            chain: Vec::new(),
         });
         assert!(report.failed());
     }
@@ -217,11 +263,14 @@ mod tests {
                 snippet: "x == 0.0".into(),
                 message: "msg".into(),
                 severity: Severity::Error,
+                chain: vec!["root".into(), "site".into()],
             }],
             suppressed: Vec::new(),
             allowlist: Vec::new(),
             unused_allowlist: Vec::new(),
             invariants: Vec::new(),
+            hot_paths: Vec::new(),
+            callgraph: CallGraphStats::default(),
             files_scanned: 1,
         };
         let json = report.render_json();

@@ -32,6 +32,9 @@ pub struct Violation {
     pub message: String,
     /// Error or warning.
     pub severity: Severity,
+    /// For call-graph rules: the `root -> ... -> site` path that makes
+    /// the site reachable. Empty for single-site rules.
+    pub chain: Vec<String>,
 }
 
 /// An indexed `// INVARIANT:` marker.
@@ -56,8 +59,15 @@ pub struct RuleSet {
     pub seeded_rng: bool,
     /// R3: no float-literal `==`/`!=` comparisons.
     pub float_eq: bool,
-    /// R1b: heuristic indexing-without-`get` warning.
+    /// R1b: heuristic indexing-without-`get` check.
     pub indexing: bool,
+    /// R1b at error severity (`linalg`/`rtree`, where every index must
+    /// be justified or allowlisted).
+    pub indexing_strict: bool,
+    /// R6: `as` casts to a narrower integer type.
+    pub lossy_cast: bool,
+    /// R7: public `Result`-returning fns must document `# Errors`.
+    pub error_docs: bool,
 }
 
 fn snippet(source: &str, line: usize) -> String {
@@ -166,15 +176,91 @@ fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
     regions.iter().any(|&(a, b)| idx >= a && idx <= b)
 }
 
-/// R1 + R1b + R2 + R3: token-stream rules over one file.
+/// Integer types an `as` cast can truncate into (rule R6). `u128`/
+/// `i128` can only widen from the types this codebase uses.
+const NARROW_INT_TYPES: [&str; 10] = [
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// Collects identifiers that are heuristically in-bounds as indices
+/// within one fn body: `for`-loop binding names and parameters of
+/// closures passed to `from_fn` (the `Vector::from_fn(|i| a[i] + b[i])`
+/// idiom, where the closure index ranges over the same `D`).
+fn bounded_idents(toks: &[Tok], open: usize, close: usize) -> std::collections::BTreeSet<String> {
+    let mut set = std::collections::BTreeSet::new();
+    let text = |i: usize| toks.get(i).map_or("", |t| t.text.as_str());
+    let mut i = open;
+    while i < close {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "for" {
+            // Binding idents up to `in` (covers `for (i, x) in ...`).
+            let mut j = i + 1;
+            while j < close && text(j) != "in" && text(j) != "{" {
+                if toks[j].kind == TokKind::Ident {
+                    set.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+        } else if toks[i].kind == TokKind::Ident
+            && toks[i].text == "from_fn"
+            && text(i + 1) == "("
+            && text(i + 2) == "|"
+        {
+            let mut j = i + 3;
+            while j < close && text(j) != "|" {
+                if toks[j].kind == TokKind::Ident {
+                    set.insert(toks[j].text.clone());
+                }
+                j += 1;
+            }
+            i = j;
+        } else if text(i) == "("
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::IntLit)
+            && matches!(text(i + 2), ".." | "..=")
+        {
+            // `(0..D).all(|i| ...)` — an adapter over a literal-start
+            // range: the closure parameter is as bounded as a `for`
+            // counter over the same range.
+            let close_paren = matching_delim(toks, i, "(", ")");
+            if text(close_paren + 1) == "."
+                && text(close_paren + 3) == "("
+                && text(close_paren + 4) == "|"
+            {
+                let mut j = close_paren + 5;
+                while j < close && text(j) != "|" {
+                    if toks[j].kind == TokKind::Ident {
+                        set.insert(toks[j].text.clone());
+                    }
+                    j += 1;
+                }
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    set
+}
+
+/// R1 + R1b + R2 + R3 + R6: token-stream rules over one file. The
+/// parsed `analysis` scopes the indexing check to expression positions
+/// (function bodies) and supplies the bounded-index exemptions.
 pub fn check_tokens(
     path: &str,
     source: &str,
     toks: &[Tok],
     rules: RuleSet,
+    analysis: &crate::parser::FileAnalysis,
     out: &mut Vec<Violation>,
 ) {
     let regions = test_regions(toks);
+    // Per-fn body ranges with their bounded index idents, for R1b.
+    let fn_bodies: Vec<((usize, usize), std::collections::BTreeSet<String>)> = analysis
+        .fns
+        .iter()
+        .filter_map(|f| f.body)
+        .map(|(a, b)| ((a, b), bounded_idents(toks, a, b)))
+        .collect();
     for (i, tok) in toks.iter().enumerate() {
         let in_test = in_regions(&regions, i);
         let prev = i.checked_sub(1).and_then(|p| toks.get(p));
@@ -201,11 +287,13 @@ pub fn check_tokens(
                         tok.text
                     ),
                     severity: Severity::Error,
+                    chain: Vec::new(),
                 });
             }
         }
 
-        // R1b (heuristic, warning-only): indexing on an expression.
+        // R1b (heuristic): indexing on an expression. Parser-scoped to
+        // fn bodies, so attribute/type/pattern positions never fire.
         if rules.indexing
             && !in_test
             && tok.kind == TokKind::Punct
@@ -217,21 +305,79 @@ pub fn check_tokens(
                         // Keywords that legitimately precede `[`:
                         // slice patterns, array types/expressions.
                         "mut" | "ref" | "in" | "return" | "break" | "else" | "dyn" | "as"
+                            | "let"
                     ))
                     || (p.kind == TokKind::Punct && (p.text == ")" || p.text == "]"))
             })
             // Full-range slicing `x[..]` cannot panic.
             && !next.is_some_and(|x| x.kind == TokKind::Punct && x.text == "..")
         {
+            // Innermost enclosing fn body (nested fns have smaller
+            // ranges); outside any body = type/const position, skip.
+            let body = fn_bodies
+                .iter()
+                .filter(|((a, b), _)| i > *a && i < *b)
+                .min_by_key(|((a, b), _)| b - a);
+            if let Some((_, bounded)) = body {
+                let close = matching_delim(toks, i, "[", "]");
+                let index_toks = &toks[i + 1..close.min(toks.len())];
+                let all_bounded = !index_toks.is_empty()
+                    && index_toks.iter().any(|t| t.kind == TokKind::Ident)
+                    && index_toks.iter().all(|t| match t.kind {
+                        TokKind::Ident => bounded.contains(&t.text),
+                        TokKind::Punct => matches!(t.text.as_str(), "," | "(" | ")"),
+                        _ => false,
+                    });
+                if !all_bounded {
+                    let severity = if rules.indexing_strict {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    };
+                    out.push(Violation {
+                        rule: "indexing",
+                        path: path.to_owned(),
+                        line: tok.line,
+                        snippet: snippet(source, tok.line),
+                        message: format!(
+                            "possible panicking index — prefer `.get()`, a bounded \
+                             loop counter, or allowlist with a bounds argument \
+                             (heuristic{})",
+                            if rules.indexing_strict {
+                                ""
+                            } else {
+                                "; warning only"
+                            }
+                        ),
+                        severity,
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // R6: `as` cast to a type that can truncate the value.
+        if rules.lossy_cast
+            && !in_test
+            && tok.kind == TokKind::Ident
+            && tok.text == "as"
+            && next.is_some_and(|x| {
+                x.kind == TokKind::Ident && NARROW_INT_TYPES.contains(&x.text.as_str())
+            })
+        {
             out.push(Violation {
-                rule: "indexing",
+                rule: "lossy-cast",
                 path: path.to_owned(),
                 line: tok.line,
                 snippet: snippet(source, tok.line),
-                message: "possible panicking index — prefer `.get()` where the index \
-                          is not provably in bounds (heuristic; warning only)"
-                    .to_owned(),
-                severity: Severity::Warning,
+                message: format!(
+                    "`as {}` can silently truncate — use `try_from` with an error \
+                     path, or allowlist with an argument for why the value always \
+                     fits",
+                    next.map_or("", |x| x.text.as_str())
+                ),
+                severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
 
@@ -254,6 +400,7 @@ pub fn check_tokens(
                     tok.text
                 ),
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
 
@@ -275,6 +422,7 @@ pub fn check_tokens(
                           (e.g. an exact-zero boundary guard)"
                     .to_owned(),
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
     }
@@ -291,6 +439,7 @@ pub fn check_crate_root(path: &str, source: &str, out: &mut Vec<Violation>) {
                 snippet: String::new(),
                 message: format!("crate root is missing `{attr}`"),
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
     }
@@ -352,7 +501,38 @@ pub fn check_invariant_markers(path: &str, source: &str, out: &mut Vec<Violation
                      returned bound never under-covers"
                 ),
                 severity: Severity::Error,
+                chain: Vec::new(),
             });
         }
+    }
+}
+
+/// R7 (per-file half): every public `Result`-returning function must
+/// carry an `# Errors` doc section, so the failure contract is part of
+/// the API surface. Trait methods and private helpers are exempt (the
+/// contract belongs on the public inherent API).
+pub fn check_error_docs(
+    path: &str,
+    source: &str,
+    analysis: &crate::parser::FileAnalysis,
+    out: &mut Vec<Violation>,
+) {
+    for f in &analysis.fns {
+        if !f.is_pub || !f.returns_result || f.in_test || f.doc_has_errors {
+            continue;
+        }
+        out.push(Violation {
+            rule: "error-docs",
+            path: path.to_owned(),
+            line: f.line,
+            snippet: snippet(source, f.line),
+            message: format!(
+                "public `Result`-returning fn `{}` has no `# Errors` doc \
+                 section — document when and why it fails",
+                f.qual_name()
+            ),
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
     }
 }

@@ -94,6 +94,17 @@ pub fn classify(rel: &str) -> RuleSet {
         .any(|c| rel.starts_with(&format!("{c}/src/")));
     rules.panic_free = in_panic_free_crate;
     rules.indexing = in_panic_free_crate;
+    // R1b is an allowlisted *error* where indexing is pervasive and
+    // every site must argue its bounds (the numeric kernel and the
+    // tree), a warning elsewhere.
+    rules.indexing_strict =
+        rel.starts_with("crates/linalg/src/") || rel.starts_with("crates/rtree/src/");
+    // R6 scope per DESIGN.md §8: the numeric crates, where a silent
+    // truncation corrupts probabilities rather than crashing.
+    rules.lossy_cast = rel.starts_with("crates/linalg/src/")
+        || rel.starts_with("crates/gaussian/src/")
+        || rel.starts_with("crates/core/src/");
+    rules.error_docs = in_panic_free_crate;
     // Benches may use ad-hoc RNG; shims implement the RNG itself; the
     // auditor is excluded by dogfooding choice (its sources mention the
     // banned identifiers as rule data).

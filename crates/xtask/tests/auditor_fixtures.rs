@@ -3,6 +3,7 @@
 //! nothing else. `clean.rs` exercises every exemption at once and must
 //! come back empty.
 
+use xtask::callgraph::Sources;
 use xtask::rules::{InvariantMarker, RuleSet, Severity, Violation};
 
 const ALL_RULES: RuleSet = RuleSet {
@@ -10,18 +11,25 @@ const ALL_RULES: RuleSet = RuleSet {
     seeded_rng: true,
     float_eq: true,
     indexing: true,
+    indexing_strict: false,
+    lossy_cast: true,
+    error_docs: true,
 };
+
+fn read_fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
 
 fn audit_fixture(
     name: &str,
     as_crate_root: bool,
     check_invariants: bool,
 ) -> (Vec<Violation>, Vec<InvariantMarker>) {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    let source = read_fixture(name);
     let mut violations = Vec::new();
     let mut invariants = Vec::new();
     xtask::audit_source(
@@ -34,6 +42,30 @@ fn audit_fixture(
         &mut invariants,
     );
     (violations, invariants)
+}
+
+/// Audits a fixture as if it lived in `crates/core/src/` (a call-graph
+/// crate), running the token rules under `rules` AND the three
+/// call-graph rules over its single-file graph.
+fn audit_fixture_graph(name: &str, rules: RuleSet) -> Vec<Violation> {
+    let source = read_fixture(name);
+    let rel = format!("crates/core/src/{name}");
+    let mut violations = Vec::new();
+    let mut invariants = Vec::new();
+    let analysis = xtask::audit_source(
+        &rel,
+        &source,
+        rules,
+        false,
+        false,
+        &mut violations,
+        &mut invariants,
+    );
+    let mut sources = Sources::default();
+    sources.insert(&rel, &source);
+    let files = vec![(rel, analysis)];
+    xtask::run_graph_checks(&files, &sources, &mut violations);
+    violations
 }
 
 /// Asserts the fixture produced exactly one violation of `rule`.
@@ -108,6 +140,47 @@ fn clean_fixture_passes_every_rule() {
 }
 
 #[test]
+fn hot_path_alloc_flags_transitive_allocation_with_chain() {
+    let violations = audit_fixture_graph("hot_path_alloc.rs", RuleSet::default());
+    assert_single(&violations, "hot-path-alloc", 18, Severity::Error);
+    assert!(violations[0].snippet.contains("vec!"));
+    // The diagnostic names the whole path from the hot root to the site.
+    assert_eq!(violations[0].chain, ["descend", "scale", "<vec!>"]);
+}
+
+#[test]
+fn panic_reachability_respects_panics_doc_section() {
+    let violations = audit_fixture_graph("panic_reach.rs", RuleSet::default());
+    assert_single(&violations, "panic-reachability", 13, Severity::Error);
+    assert!(violations[0].snippet.contains("panic!"));
+    assert_eq!(violations[0].chain, ["entry", "inner"]);
+}
+
+#[test]
+fn lossy_cast_flags_int_narrowing_but_not_float_or_test_casts() {
+    let (violations, _) = audit_fixture("lossy_cast.rs", false, false);
+    assert_single(&violations, "lossy-cast", 5, Severity::Error);
+    assert!(violations[0].snippet.contains("as u32"));
+}
+
+#[test]
+fn error_docs_flags_missing_section_and_dead_variant() {
+    let violations = audit_fixture_graph("error_docs.rs", ALL_RULES);
+    assert_eq!(
+        violations.len(),
+        2,
+        "expected the missing `# Errors` doc and the dead variant: {violations:#?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "error-docs"));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("undocumented") && v.message.contains("# Errors")));
+    assert!(violations
+        .iter()
+        .any(|v| v.message.contains("PrqError::Imaginary") && v.message.contains("never")));
+}
+
+#[test]
 fn allowlist_suppresses_a_triaged_violation() {
     let (violations, _) = audit_fixture("float_eq.rs", false, false);
     let entries =
@@ -145,5 +218,28 @@ fn workspace_audits_clean() {
     assert!(
         marked_files.contains("crates/core/src/theta_region.rs"),
         "theta_region exact radius must carry INVARIANT markers"
+    );
+    // The call graph is populated and the hot roots the design names
+    // (rtree descent, strategy predicates, evaluator loops) are marked.
+    assert!(
+        report.callgraph.functions > 100,
+        "call graph suspiciously small: {:?}",
+        report.callgraph
+    );
+    assert!(report.callgraph.edges > report.callgraph.functions);
+    assert!(
+        report.callgraph.hot_roots >= 3,
+        "expected the designated hot roots to be marked: {:?}",
+        report.callgraph
+    );
+    let hot_files: std::collections::BTreeSet<&str> =
+        report.hot_paths.iter().map(|m| m.path.as_str()).collect();
+    assert!(
+        hot_files.contains("crates/rtree/src/query.rs"),
+        "rtree query descent must be a HOT-PATH root"
+    );
+    assert!(
+        report.hot_paths.iter().all(|m| m.attached_fn.is_some()),
+        "no dangling HOT-PATH markers"
     );
 }

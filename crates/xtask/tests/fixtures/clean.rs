@@ -18,6 +18,24 @@ pub fn lookup_bound(x: f64) -> f64 {
     x.floor()
 }
 
+/// Cast to a float never truncates an integer's order of magnitude —
+/// exempt from `lossy-cast`.
+pub fn as_fraction(hits: u32) -> f64 {
+    hits as f64
+}
+
+/// A documented fallible API — exempt from `error-docs`.
+///
+/// # Errors
+///
+/// Returns the input as an error message when it is negative.
+pub fn checked_sqrt(x: f64) -> Result<f64, String> {
+    if x < 0.0 {
+        return Err(format!("negative: {x}"));
+    }
+    Ok(x.sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

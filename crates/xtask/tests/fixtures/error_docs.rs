@@ -1,0 +1,29 @@
+// Fixture: violates `error-docs` exactly twice — the undocumented
+// public `Result` fn and the never-constructed `PrqError::Imaginary`
+// variant. The documented fn and the constructed variant must NOT be
+// reported.
+
+/// Error surface of the fixture.
+pub enum PrqError {
+    /// Constructed below.
+    Bounds,
+    /// Never constructed — dead error surface.
+    Imaginary,
+}
+
+/// Documented faithfully.
+///
+/// # Errors
+///
+/// Returns [`PrqError::Bounds`] when `x` is negative.
+pub fn checked(x: f64) -> Result<f64, PrqError> {
+    if x < 0.0 {
+        return Err(PrqError::Bounds);
+    }
+    Ok(x)
+}
+
+/// Missing its `# Errors` section.
+pub fn undocumented(x: f64) -> Result<f64, PrqError> {
+    checked(x + 1.0)
+}

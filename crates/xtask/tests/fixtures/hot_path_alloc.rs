@@ -1,0 +1,20 @@
+// Fixture: violates `hot-path-alloc` exactly once — the hot root
+// `descend` transitively reaches the `vec!` in `scale`. The `.push()`
+// into the caller-owned `&mut` buffer must NOT be reported.
+
+// HOT-PATH: candidate descent loop
+pub fn descend(values: &[f64], limit: f64, out: &mut Vec<usize>) -> f64 {
+    let mut acc = 0.0;
+    for (i, v) in values.iter().enumerate() {
+        if *v <= limit {
+            out.push(i);
+            acc += scale(*v);
+        }
+    }
+    acc
+}
+
+fn scale(v: f64) -> f64 {
+    let doubled = vec![v, v];
+    doubled.len() as f64 * v
+}

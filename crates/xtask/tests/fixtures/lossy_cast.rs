@@ -1,0 +1,18 @@
+// Fixture: violates `lossy-cast` exactly once (`total as u32`).
+// Casts to `f64` and the test-module cast must NOT be reported.
+
+pub fn shrink(total: u64) -> u32 {
+    total as u32
+}
+
+pub fn ratio(hits: f64, total: f64) -> f64 {
+    hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_allowed_here() {
+        assert_eq!(super::shrink(7i32 as u64), 7);
+    }
+}

@@ -1,0 +1,26 @@
+// Fixture: violates `panic-reachability` exactly once — public `entry`
+// reaches the `panic!` in private `inner`. The `# Panics`-documented
+// sibling and the `debug_assert!` must NOT be reported.
+
+/// Clamps to the unit interval the hard way.
+pub fn entry(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    inner(x)
+}
+
+fn inner(x: f64) -> f64 {
+    if x < 0.0 {
+        panic!("negative input");
+    }
+    x.min(1.0)
+}
+
+/// Reciprocal.
+///
+/// # Panics
+///
+/// Panics when `x` is not positive.
+pub fn documented(x: f64) -> f64 {
+    assert!(x > 0.0);
+    1.0 / x
+}
