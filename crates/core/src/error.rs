@@ -12,6 +12,15 @@ pub enum PrqError {
     InvalidTheta(f64),
     /// The distance threshold must satisfy `δ > 0` and be finite.
     InvalidDelta(f64),
+    /// The query center contained a NaN or infinite coordinate. No
+    /// repair is possible: there is no principled finite location to
+    /// substitute, so admission rejects instead of degrading.
+    InvalidCenter {
+        /// Index of the first non-finite coordinate.
+        axis: usize,
+        /// The offending coordinate value.
+        value: f64,
+    },
     /// The θ-region (paper Definition 3) is only defined for `θ < 1/2`;
     /// the RR and OR strategies cannot run above that. (BF still can.)
     ThetaRegionUndefined(f64),
@@ -41,6 +50,10 @@ impl fmt::Display for PrqError {
             PrqError::InvalidDelta(d) => {
                 write!(f, "distance threshold must be positive and finite, got {d}")
             }
+            PrqError::InvalidCenter { axis, value } => write!(
+                f,
+                "query center must be finite, got {value} at coordinate {axis}"
+            ),
             PrqError::ThetaRegionUndefined(t) => write!(
                 f,
                 "θ-region requires θ < 1/2 (got θ = {t}); use a BF-only strategy set"

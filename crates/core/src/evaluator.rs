@@ -4,14 +4,16 @@
 //! experiment harness can swap the paper's importance-sampling Monte Carlo
 //! for the shared-sample optimization or the deterministic 2-D oracle.
 
+use crate::resilience::Verdict;
 use gprq_gaussian::integrate::{
     importance_sampling_probability, quadrature_probability_2d, SharedSampleEvaluator,
-    PAPER_MC_SAMPLES,
+    StreamingProbability, PAPER_MC_SAMPLES,
 };
 use gprq_gaussian::Gaussian;
 use gprq_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// Computes qualification probabilities for Phase 3.
 ///
@@ -165,6 +167,240 @@ impl ProbabilityEvaluator<2> for Quadrature2dEvaluator {
     }
 }
 
+/// Outcome of one budgeted per-object evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// The probability estimate at the point evaluation stopped.
+    pub estimate: f64,
+    /// Samples actually drawn (0 for deterministic evaluators).
+    pub samples: usize,
+    /// The classification against `θ` — explicit, never a bare number,
+    /// so budget exhaustion is visible as [`Verdict::Uncertain`].
+    pub verdict: Verdict,
+    /// Whether the evaluation stopped before its full sample budget
+    /// because the confidence interval already cleared `θ`.
+    pub early: bool,
+}
+
+/// Why a budgeted evaluation produced no usable estimate at all (as
+/// opposed to an [`Verdict::Uncertain`] estimate, which is a *result*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalFailure {
+    /// The per-object sample budget was zero — the total-sample budget
+    /// was already exhausted before this object was reached.
+    NoBudget,
+    /// An injected fault aborted the evaluation (chaos testing, or a
+    /// wrapped evaluator that can genuinely fail).
+    Injected,
+}
+
+impl fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalFailure::NoBudget => write!(f, "no sample budget left for this object"),
+            EvalFailure::Injected => write!(f, "evaluation aborted by injected fault"),
+        }
+    }
+}
+
+impl std::error::Error for EvalFailure {}
+
+/// A Phase-3 evaluator that works under an explicit per-object sample
+/// budget and classifies against `θ` itself, so it can stop as soon as
+/// the answer is statistically settled.
+///
+/// This is the resilient counterpart of [`ProbabilityEvaluator`]: where
+/// that trait returns an unlabeled point estimate after a fixed budget,
+/// this one returns an [`EvalReport`] whose verdict is explicit about
+/// confidence — including [`Verdict::Uncertain`] when the budget ran
+/// out with the confidence interval still straddling `θ`.
+pub trait BudgetedEvaluator<const D: usize> {
+    /// Called once before a query's Phase 3 with the query distribution.
+    fn begin_query(&mut self, _gaussian: &Gaussian<D>) {}
+
+    /// Evaluates `Pr(‖x − center‖ ≤ delta) vs θ` using at most
+    /// `max_samples` draws.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalFailure::NoBudget`] when `max_samples == 0`,
+    /// * [`EvalFailure::Injected`] when a fault plan aborts the call.
+    fn evaluate(
+        &mut self,
+        gaussian: &Gaussian<D>,
+        center: &Vector<D>,
+        delta: f64,
+        theta: f64,
+        max_samples: usize,
+    ) -> Result<EvalReport, EvalFailure>;
+}
+
+/// Sequential importance-sampling Monte Carlo with Wilson-interval early
+/// termination: draws blocks of samples and stops as soon as the
+/// confidence interval for the running estimate lies entirely on one
+/// side of `θ`.
+///
+/// Most candidates are far from the threshold, so a few hundred samples
+/// decide them instead of the paper's fixed 100 000 — the `resilience`
+/// bench records the saving. With early termination disabled (the
+/// baseline), the full budget is always spent and the interval is
+/// checked once at the end, so the *verdicts* are comparable and only
+/// the sample counts differ.
+#[derive(Debug, Clone)]
+pub struct SequentialMonteCarloEvaluator {
+    block: usize,
+    z: f64,
+    rng: StdRng,
+    early_termination: bool,
+}
+
+impl SequentialMonteCarloEvaluator {
+    /// Default block size between interval checks.
+    pub const DEFAULT_BLOCK: usize = 512;
+    /// Default confidence width: ±3σ two-sided (≈ 99.7 %).
+    pub const DEFAULT_Z: f64 = 3.0;
+
+    /// Creates an evaluator with the default block size and confidence
+    /// width, early termination enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`; debug-asserts `z > 0`.
+    pub fn new(block: usize, z: f64, seed: u64) -> Self {
+        assert!(block > 0, "block size must be positive");
+        debug_assert!(z > 0.0);
+        SequentialMonteCarloEvaluator {
+            block,
+            z,
+            rng: StdRng::seed_from_u64(seed),
+            early_termination: true,
+        }
+    }
+
+    /// The default configuration (block 512, z = 3).
+    pub fn with_defaults(seed: u64) -> Self {
+        Self::new(Self::DEFAULT_BLOCK, Self::DEFAULT_Z, seed)
+    }
+
+    /// Enables or disables early termination (disabled = fixed-budget
+    /// baseline for the resilience bench).
+    pub fn with_early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
+        self
+    }
+
+    /// Whether early termination is enabled.
+    pub fn early_termination(&self) -> bool {
+        self.early_termination
+    }
+}
+
+impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator {
+    fn evaluate(
+        &mut self,
+        gaussian: &Gaussian<D>,
+        center: &Vector<D>,
+        delta: f64,
+        theta: f64,
+        max_samples: usize,
+    ) -> Result<EvalReport, EvalFailure> {
+        if max_samples == 0 {
+            return Err(EvalFailure::NoBudget);
+        }
+        let mut stream = StreamingProbability::new(gaussian, center, delta);
+        loop {
+            let drawn = stream.running().n;
+            let remaining = max_samples - drawn;
+            if remaining == 0 {
+                break;
+            }
+            let est = stream.refine(&mut self.rng, self.block.min(remaining));
+            if self.early_termination {
+                let (lo, hi) = est.wilson_bounds(self.z);
+                if lo >= theta {
+                    return Ok(EvalReport {
+                        estimate: est.estimate(),
+                        samples: est.n,
+                        verdict: Verdict::Accept,
+                        early: est.n < max_samples,
+                    });
+                }
+                if hi < theta {
+                    return Ok(EvalReport {
+                        estimate: est.estimate(),
+                        samples: est.n,
+                        verdict: Verdict::Reject,
+                        early: est.n < max_samples,
+                    });
+                }
+            }
+        }
+        // Budget exhausted: check the interval once (for the baseline
+        // mode this is the only check) and label honestly.
+        let est = stream.running();
+        let (lo, hi) = est.wilson_bounds(self.z);
+        let verdict = if lo >= theta {
+            Verdict::Accept
+        } else if hi < theta {
+            Verdict::Reject
+        } else {
+            Verdict::Uncertain
+        };
+        Ok(EvalReport {
+            estimate: est.estimate(),
+            samples: est.n,
+            verdict,
+            early: false,
+        })
+    }
+}
+
+/// Adapts any deterministic [`ProbabilityEvaluator`] to the budgeted
+/// interface: the exact probability is computed (ignoring the sample
+/// budget), the verdict is the exact comparison against `θ`, and the
+/// reported sample count is zero.
+///
+/// Used by the chaos suite so fallback-path answers can be compared
+/// bit-for-bit against the naive oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterministicBudgeted<E> {
+    inner: E,
+}
+
+impl<E> DeterministicBudgeted<E> {
+    /// Wraps a deterministic evaluator.
+    pub fn new(inner: E) -> Self {
+        DeterministicBudgeted { inner }
+    }
+}
+
+impl<const D: usize, E: ProbabilityEvaluator<D>> BudgetedEvaluator<D> for DeterministicBudgeted<E> {
+    fn begin_query(&mut self, gaussian: &Gaussian<D>) {
+        self.inner.begin_query(gaussian);
+    }
+
+    fn evaluate(
+        &mut self,
+        gaussian: &Gaussian<D>,
+        center: &Vector<D>,
+        delta: f64,
+        theta: f64,
+        _max_samples: usize,
+    ) -> Result<EvalReport, EvalFailure> {
+        let p = self.inner.probability(gaussian, center, delta);
+        Ok(EvalReport {
+            estimate: p,
+            samples: 0,
+            verdict: if p >= theta {
+                Verdict::Accept
+            } else {
+                Verdict::Reject
+            },
+            early: false,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +471,79 @@ mod tests {
     fn paper_default_sample_count() {
         let mc = MonteCarloEvaluator::paper_default(1);
         assert_eq!(mc.samples(), 100_000);
+    }
+
+    #[test]
+    fn sequential_mc_terminates_early_on_clear_cases() {
+        let g = gaussian();
+        let mut eval = SequentialMonteCarloEvaluator::with_defaults(17);
+        // Ball around the mean with generous radius: p ≈ 1 ≫ θ = 0.01.
+        let accept =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, g.mean(), 60.0, 0.01, 100_000).unwrap();
+        assert_eq!(accept.verdict, Verdict::Accept);
+        assert!(accept.early, "clear accept should stop early");
+        assert!(accept.samples < 10_000, "spent {}", accept.samples);
+        // Far-away center: p ≈ 0 ≪ θ.
+        let far = Vector::from([10_000.0, 10_000.0]);
+        let reject =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, &far, 1.0, 0.01, 100_000).unwrap();
+        assert_eq!(reject.verdict, Verdict::Reject);
+        assert!(reject.early);
+        assert!(reject.samples < 10_000);
+    }
+
+    #[test]
+    fn sequential_mc_baseline_spends_full_budget() {
+        let g = gaussian();
+        let mut eval =
+            SequentialMonteCarloEvaluator::with_defaults(17).with_early_termination(false);
+        assert!(!eval.early_termination());
+        let r =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, g.mean(), 60.0, 0.01, 20_000).unwrap();
+        assert_eq!(r.samples, 20_000);
+        assert!(!r.early);
+        assert_eq!(r.verdict, Verdict::Accept);
+    }
+
+    #[test]
+    fn sequential_mc_borderline_is_uncertain() {
+        let g = gaussian();
+        let center = Vector::from([15.0, 8.0]);
+        let mut quad = Quadrature2dEvaluator::default();
+        let truth = quad.probability(&g, &center, 25.0);
+        // θ exactly at the true probability: the interval can never
+        // clear it, so a small budget must end Uncertain.
+        let mut eval = SequentialMonteCarloEvaluator::with_defaults(23);
+        let r =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, &center, 25.0, truth, 4_096).unwrap();
+        assert_eq!(r.verdict, Verdict::Uncertain);
+        assert_eq!(r.samples, 4_096);
+        assert!(!r.early);
+        assert!((r.estimate - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn sequential_mc_rejects_zero_budget() {
+        let g = gaussian();
+        let mut eval = SequentialMonteCarloEvaluator::with_defaults(1);
+        let e = BudgetedEvaluator::<2>::evaluate(&mut eval, &g, g.mean(), 1.0, 0.5, 0).unwrap_err();
+        assert_eq!(e, EvalFailure::NoBudget);
+        assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn deterministic_budgeted_matches_oracle_verdict() {
+        let g = gaussian();
+        let center = Vector::from([15.0, 8.0]);
+        let mut quad = Quadrature2dEvaluator::default();
+        let truth = quad.probability(&g, &center, 25.0);
+        let mut det = DeterministicBudgeted::new(Quadrature2dEvaluator::default());
+        let r = det.evaluate(&g, &center, 25.0, truth / 2.0, 0).unwrap();
+        assert_eq!(r.verdict, Verdict::Accept);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.estimate, truth);
+        let r2 = det.evaluate(&g, &center, 25.0, truth * 1.5, 0).unwrap();
+        assert_eq!(r2.verdict, Verdict::Reject);
     }
 
     #[test]

@@ -48,6 +48,20 @@ pub struct QueryStats {
     pub integrations: usize,
     /// Final answer-set size (the ANS column).
     pub answers: usize,
+    /// Monte-Carlo samples actually drawn in Phase 3. Zero when the
+    /// evaluator does not report sample counts (the fixed-budget
+    /// [`ProbabilityEvaluator`]s); the budgeted resilient path fills it
+    /// so the early-termination saving is measurable.
+    pub phase3_samples: usize,
+    /// Phase-3 integrations that stopped before their full sample budget
+    /// because the confidence interval already cleared `θ`.
+    pub early_terminations: usize,
+    /// Objects the budgeted path could not classify before exhausting
+    /// its budget (reported as explicit [`Verdict::Uncertain`], never
+    /// silently guessed).
+    ///
+    /// [`Verdict::Uncertain`]: crate::resilience::Verdict::Uncertain
+    pub uncertain: usize,
     /// Phase-1 wall-clock time.
     pub phase1_time: Duration,
     /// Phase-2 wall-clock time.
@@ -60,6 +74,25 @@ impl QueryStats {
     /// Total wall-clock time across the three phases.
     pub fn total_time(&self) -> Duration {
         self.phase1_time + self.phase2_time + self.phase3_time
+    }
+
+    /// Accumulates `other` into `self`, field by field — the single
+    /// aggregation point for batch drivers and monitoring sessions.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.phase1_candidates += other.phase1_candidates;
+        self.node_accesses += other.node_accesses;
+        self.pruned_by_fringe += other.pruned_by_fringe;
+        self.pruned_by_or += other.pruned_by_or;
+        self.pruned_by_bf += other.pruned_by_bf;
+        self.accepted_without_integration += other.accepted_without_integration;
+        self.integrations += other.integrations;
+        self.answers += other.answers;
+        self.phase3_samples += other.phase3_samples;
+        self.early_terminations += other.early_terminations;
+        self.uncertain += other.uncertain;
+        self.phase1_time += other.phase1_time;
+        self.phase2_time += other.phase2_time;
+        self.phase3_time += other.phase3_time;
     }
 }
 
@@ -84,13 +117,25 @@ pub struct QueryScratch<'t, const D: usize, T> {
     to_integrate: Vec<(&'t Vector<D>, &'t T)>,
 }
 
-impl<const D: usize, T> QueryScratch<'_, D, T> {
+impl<'t, const D: usize, T> QueryScratch<'t, D, T> {
     /// Creates empty scratch buffers (no allocation until first use).
     pub fn new() -> Self {
         QueryScratch {
             candidates: Vec::new(),
             to_integrate: Vec::new(),
         }
+    }
+
+    /// The Phase-3 work list produced by
+    /// [`PrqExecutor::collect_candidates`].
+    pub(crate) fn work_list(&self) -> &[(&'t Vector<D>, &'t T)] {
+        &self.to_integrate
+    }
+
+    /// Mutable access to the Phase-3 work list, for fallback paths that
+    /// build it directly (the naive full scan).
+    pub(crate) fn naive_work_list(&mut self) -> &mut Vec<(&'t Vector<D>, &'t T)> {
+        &mut self.to_integrate
     }
 }
 
@@ -199,8 +244,45 @@ impl<'c> PrqExecutor<'c> {
     where
         E: ProbabilityEvaluator<D>,
     {
-        self.strategies.validate()?;
         let mut stats = QueryStats::default();
+        let mut answers: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
+        self.collect_candidates(tree, query, scratch, &mut stats, &mut answers)?;
+
+        // --- Phase 3: probability computation. -------------------------
+        let t2 = Instant::now();
+        evaluator.begin_query(query.gaussian());
+        for &(point, data) in scratch.to_integrate.iter() {
+            stats.integrations += 1;
+            let p = evaluator.probability(query.gaussian(), point, query.delta());
+            if p >= query.theta() {
+                answers.push((point, data));
+            }
+        }
+        stats.phase3_time = t2.elapsed();
+        stats.answers = answers.len();
+
+        Ok(PrqOutcome { answers, stats })
+    }
+
+    /// Phases 1 and 2 (index search + filtering), shared between the
+    /// plain Phase-3 loop above and the budgeted resilient path: fills
+    /// `scratch.to_integrate` with the Phase-3 work list, appends BF
+    /// sure-accepts to `answers`, and records Phase-1/2 statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same preconditions as [`PrqExecutor::execute_with_scratch`]:
+    /// [`PrqError::NoPrimaryStrategy`], [`PrqError::ThetaRegionUndefined`],
+    /// or [`PrqError::CatalogDimensionMismatch`].
+    pub(crate) fn collect_candidates<'t, const D: usize, T>(
+        &self,
+        tree: &'t RTree<D, T>,
+        query: &PrqQuery<D>,
+        scratch: &mut QueryScratch<'t, D, T>,
+        stats: &mut QueryStats,
+        answers: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) -> Result<(), PrqError> {
+        self.strategies.validate()?;
 
         // --- Preparation: build the enabled filters. -------------------
         let needs_region = self.strategies.rr || self.strategies.or;
@@ -267,7 +349,6 @@ impl<'c> PrqExecutor<'c> {
 
         // --- Phase 2: filtering. ---------------------------------------
         let t1 = Instant::now();
-        let mut answers: Vec<(&'t Vector<D>, &'t T)> = Vec::new();
         'candidates: for &(point, data) in candidates.iter() {
             if let Some(rr) = &rr_filter {
                 if !rr.passes(point) {
@@ -298,21 +379,7 @@ impl<'c> PrqExecutor<'c> {
             to_integrate.push((point, data));
         }
         stats.phase2_time = t1.elapsed();
-
-        // --- Phase 3: probability computation. -------------------------
-        let t2 = Instant::now();
-        evaluator.begin_query(query.gaussian());
-        for &(point, data) in to_integrate.iter() {
-            stats.integrations += 1;
-            let p = evaluator.probability(query.gaussian(), point, query.delta());
-            if p >= query.theta() {
-                answers.push((point, data));
-            }
-        }
-        stats.phase3_time = t2.elapsed();
-        stats.answers = answers.len();
-
-        Ok(PrqOutcome { answers, stats })
+        Ok(())
     }
 }
 

@@ -65,12 +65,7 @@ where
         evaluator: E,
     ) -> Result<Self, PrqError> {
         strategies.validate()?;
-        if !(delta > 0.0 && delta.is_finite()) {
-            return Err(PrqError::InvalidDelta(delta));
-        }
-        if !(theta > 0.0 && theta < 1.0) {
-            return Err(PrqError::InvalidTheta(theta));
-        }
+        crate::query::validate_thresholds(delta, theta)?;
         Ok(MonitoringSession {
             tree,
             delta,
@@ -119,17 +114,7 @@ where
 
         // Aggregate statistics.
         let s = outcome.stats;
-        self.total.phase1_candidates += s.phase1_candidates;
-        self.total.node_accesses += s.node_accesses;
-        self.total.pruned_by_fringe += s.pruned_by_fringe;
-        self.total.pruned_by_or += s.pruned_by_or;
-        self.total.pruned_by_bf += s.pruned_by_bf;
-        self.total.accepted_without_integration += s.accepted_without_integration;
-        self.total.integrations += s.integrations;
-        self.total.answers += s.answers;
-        self.total.phase1_time += s.phase1_time;
-        self.total.phase2_time += s.phase2_time;
-        self.total.phase3_time += s.phase3_time;
+        self.total.merge(&s);
         self.steps += 1;
 
         self.previous = answers.clone();

@@ -55,8 +55,11 @@ pub mod evaluator;
 pub mod executor;
 pub mod explain;
 pub mod ext;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod naive;
 pub mod query;
+pub mod resilience;
 pub mod strategy;
 pub mod theta_region;
 pub mod ucatalog;
@@ -64,13 +67,20 @@ pub mod ucatalog;
 pub use cost::{expected_integrations, region_volumes, DensityEstimate, RegionVolumes};
 pub use error::PrqError;
 pub use evaluator::{
-    MonteCarloEvaluator, ProbabilityEvaluator, Quadrature2dEvaluator, QuasiMonteCarloEvaluator,
-    SharedSamplesEvaluator,
+    BudgetedEvaluator, DeterministicBudgeted, EvalFailure, EvalReport, MonteCarloEvaluator,
+    ProbabilityEvaluator, Quadrature2dEvaluator, QuasiMonteCarloEvaluator,
+    SequentialMonteCarloEvaluator, SharedSamplesEvaluator,
 };
 pub use executor::{PrqExecutor, PrqOutcome, QueryScratch, QueryStats};
 pub use explain::{explain, QueryPlan};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultPlan, FaultSchedule, FaultSite};
 pub use naive::execute_naive;
 pub use query::PrqQuery;
+pub use resilience::{
+    AdmissionPolicy, DegradationReason, DegradationReport, EvalBudget, ResilientExecutor,
+    ResilientOutcome, TerminalStrategy, UncertainCause, UncertainObject, Verdict,
+};
 pub use strategy::bf::{BfBounds, BfClass, RejectBound};
 pub use strategy::or::OrFilter;
 pub use strategy::rr::{FringeMode, RrFilter};

@@ -32,6 +32,27 @@ pub struct PrqQuery<const D: usize> {
     theta: f64,
 }
 
+/// The single authoritative `(δ, θ)` validation, shared by every query
+/// construction path (direct, from-Gaussian, monitoring sessions, and
+/// the resilient admission stage) so NaN/∞ inputs cannot slip through
+/// one path while being rejected by another.
+///
+/// # Errors
+///
+/// * [`PrqError::InvalidDelta`] unless `δ > 0` and finite (NaN and ±∞
+///   both fail the comparison chain and are rejected),
+/// * [`PrqError::InvalidTheta`] unless `0 < θ < 1` (NaN fails both
+///   comparisons and is rejected).
+pub(crate) fn validate_thresholds(delta: f64, theta: f64) -> Result<(), PrqError> {
+    if !(delta > 0.0 && delta.is_finite()) {
+        return Err(PrqError::InvalidDelta(delta));
+    }
+    if !(theta > 0.0 && theta < 1.0) {
+        return Err(PrqError::InvalidTheta(theta));
+    }
+    Ok(())
+}
+
 impl<const D: usize> PrqQuery<D> {
     /// Builds a query, validating all parameters.
     ///
@@ -47,12 +68,7 @@ impl<const D: usize> PrqQuery<D> {
         delta: f64,
         theta: f64,
     ) -> Result<Self, PrqError> {
-        if !(delta > 0.0 && delta.is_finite()) {
-            return Err(PrqError::InvalidDelta(delta));
-        }
-        if !(theta > 0.0 && theta < 1.0) {
-            return Err(PrqError::InvalidTheta(theta));
-        }
+        validate_thresholds(delta, theta)?;
         let gaussian = Gaussian::new(center, covariance)?;
         Ok(PrqQuery {
             gaussian,
@@ -68,12 +84,7 @@ impl<const D: usize> PrqQuery<D> {
     /// Returns [`PrqError::InvalidDelta`] when `δ` is not positive and
     /// finite, and [`PrqError::InvalidTheta`] when `θ ∉ (0, 1)`.
     pub fn from_gaussian(gaussian: Gaussian<D>, delta: f64, theta: f64) -> Result<Self, PrqError> {
-        if !(delta > 0.0 && delta.is_finite()) {
-            return Err(PrqError::InvalidDelta(delta));
-        }
-        if !(theta > 0.0 && theta < 1.0) {
-            return Err(PrqError::InvalidTheta(theta));
-        }
+        validate_thresholds(delta, theta)?;
         Ok(PrqQuery {
             gaussian,
             delta,
@@ -154,5 +165,22 @@ mod tests {
         assert!(PrqQuery::from_gaussian(g.clone(), 1.0, 0.5).is_ok());
         assert!(PrqQuery::from_gaussian(g.clone(), -1.0, 0.5).is_err());
         assert!(PrqQuery::from_gaussian(g, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn from_gaussian_rejects_non_finite_thresholds() {
+        // Regression: NaN θ and NaN/∞ δ must be rejected on *every*
+        // construction path, not only `PrqQuery::new`.
+        let g = Gaussian::<2>::standard();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = PrqQuery::from_gaussian(g.clone(), bad, 0.1).unwrap_err();
+            assert!(matches!(e, PrqError::InvalidDelta(_)), "delta = {bad}");
+        }
+        let e = PrqQuery::from_gaussian(g.clone(), 1.0, f64::NAN).unwrap_err();
+        assert!(matches!(e, PrqError::InvalidTheta(_)));
+        for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+            let e = PrqQuery::from_gaussian(g.clone(), 1.0, bad).unwrap_err();
+            assert!(matches!(e, PrqError::InvalidTheta(_)), "theta = {bad}");
+        }
     }
 }

@@ -117,6 +117,112 @@ impl<const D: usize> SharedSampleEvaluator<D> {
     }
 }
 
+/// A running Monte-Carlo proportion estimate: `hits` successes out of
+/// `n` draws, with confidence bounds for early-termination decisions.
+///
+/// The budgeted Phase-3 evaluator refines an estimate block by block and
+/// stops as soon as the confidence interval clears the query threshold
+/// `θ` on either side — most candidates are *far* from the threshold, so
+/// a few hundred samples decide them, not the paper's fixed 100 000.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunningEstimate {
+    /// Samples that landed inside the ball.
+    pub hits: usize,
+    /// Total samples drawn.
+    pub n: usize,
+}
+
+impl RunningEstimate {
+    /// The point estimate `hits / n` (0 when no samples were drawn).
+    pub fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.n as f64
+        }
+    }
+
+    /// Wilson score interval at `z` standard normal deviations — the
+    /// binomial confidence interval that stays inside `[0, 1]` and
+    /// behaves sanely at `p̂ ∈ {0, 1}`, unlike the Wald interval.
+    ///
+    /// Returns `(lower, upper)`; `(0, 1)` when no samples were drawn.
+    pub fn wilson_bounds(&self, z: f64) -> (f64, f64) {
+        if self.n == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.n as f64;
+        let p = self.hits as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = p + z2 / (2.0 * n);
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        let lo = ((center - half) / denom).max(0.0);
+        let hi = ((center + half) / denom).min(1.0);
+        (lo, hi)
+    }
+
+    /// Hoeffding two-sided half-width `√(ln(2/α) / 2n)` at confidence
+    /// `1 − alpha` — the distribution-free (looser) alternative to
+    /// [`RunningEstimate::wilson_bounds`], exposed for cross-checks.
+    pub fn hoeffding_half_width(&self, alpha: f64) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        ((2.0 / alpha).ln() / (2.0 * self.n as f64)).sqrt()
+    }
+}
+
+/// Incremental importance-sampling estimator for one `(center, δ)` pair:
+/// the block-wise refinement primitive behind budgeted Phase-3
+/// evaluation with confidence-interval early termination.
+///
+/// Draws come from the same proposal as
+/// [`importance_sampling_probability`] (the query Gaussian itself), so a
+/// run refined to `n` total samples is distributed identically to a
+/// single `n`-sample batch — stopping early changes the *cost*, never
+/// the estimator.
+#[derive(Debug)]
+pub struct StreamingProbability<'g, const D: usize> {
+    sampler: GaussianSampler<'g, D>,
+    center: Vector<D>,
+    delta_sq: f64,
+    estimate: RunningEstimate,
+}
+
+impl<'g, const D: usize> StreamingProbability<'g, D> {
+    /// Creates an estimator for `Pr(‖x − center‖ ≤ delta)`, `x ~ gaussian`,
+    /// with zero samples drawn. Debug-asserts `delta ≥ 0`.
+    pub fn new(gaussian: &'g Gaussian<D>, center: &Vector<D>, delta: f64) -> Self {
+        debug_assert!(delta >= 0.0);
+        StreamingProbability {
+            sampler: GaussianSampler::new(gaussian),
+            center: *center,
+            delta_sq: delta * delta,
+            estimate: RunningEstimate::default(),
+        }
+    }
+
+    /// Draws `block` more samples and returns the updated running
+    /// estimate. A zero-sized block is a no-op.
+    // HOT-PATH: budgeted Phase-3 refinement loop (resilient executor)
+    pub fn refine<R: Rng + ?Sized>(&mut self, rng: &mut R, block: usize) -> RunningEstimate {
+        for _ in 0..block {
+            let x = self.sampler.sample(rng);
+            if x.distance_squared(&self.center) <= self.delta_sq {
+                self.estimate.hits += 1;
+            }
+            self.estimate.n += 1;
+        }
+        self.estimate
+    }
+
+    /// The running estimate so far.
+    pub fn running(&self) -> RunningEstimate {
+        self.estimate
+    }
+}
+
 /// Estimates the ball probability with the "standard" Monte-Carlo method:
 /// uniform samples in `B(center, delta)`, density averaged and scaled by
 /// the ball volume.
@@ -340,6 +446,64 @@ mod tests {
                 "offset {offset:?}: mc {mc} vs exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn streaming_estimate_matches_quadrature_oracle() {
+        let g = Gaussian::new(Vector::from([500.0, 500.0]), sigma_paper(10.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let center = *g.mean() + Vector::from([10.0, 5.0]);
+        let delta = 25.0;
+        let exact = quadrature_probability_2d(&g, &center, delta, 64, 128);
+        let mut stream = StreamingProbability::new(&g, &center, delta);
+        // Refine in uneven blocks to exercise incremental accumulation.
+        let mut est = RunningEstimate::default();
+        for block in [1, 0, 999, 50_000, 149_000] {
+            est = stream.refine(&mut rng, block);
+        }
+        assert_eq!(est.n, 200_000);
+        assert_eq!(est, stream.running());
+        assert!(
+            (est.estimate() - exact).abs() < 0.006,
+            "stream {} vs exact {exact}",
+            est.estimate()
+        );
+    }
+
+    #[test]
+    fn wilson_bounds_bracket_truth_and_tighten() {
+        let g = Gaussian::new(Vector::from([0.0, 0.0]), sigma_paper(1.0)).unwrap();
+        let center = Vector::from([2.0, 1.0]);
+        let delta = 3.0;
+        let exact = quadrature_probability_2d(&g, &center, delta, 64, 128);
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut stream = StreamingProbability::new(&g, &center, delta);
+        let mut prev_width = f64::INFINITY;
+        for _ in 0..4 {
+            let est = stream.refine(&mut rng, 25_000);
+            let (lo, hi) = est.wilson_bounds(3.0);
+            assert!(lo <= exact && exact <= hi, "[{lo}, {hi}] misses {exact}");
+            let width = hi - lo;
+            assert!(width < prev_width, "interval failed to tighten");
+            prev_width = width;
+            // Wilson stays inside the Hoeffding band (it uses variance info).
+            assert!(width / 2.0 <= est.hoeffding_half_width(0.0027) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_estimate_degenerate_cases() {
+        let empty = RunningEstimate::default();
+        assert_eq!(empty.estimate(), 0.0);
+        assert_eq!(empty.wilson_bounds(1.96), (0.0, 1.0));
+        assert_eq!(empty.hoeffding_half_width(0.05), 1.0);
+        // All hits / no hits stay inside [0, 1].
+        let all = RunningEstimate { hits: 100, n: 100 };
+        let (lo, hi) = all.wilson_bounds(3.0);
+        assert!(lo > 0.8 && hi <= 1.0);
+        let none = RunningEstimate { hits: 0, n: 100 };
+        let (lo, hi) = none.wilson_bounds(3.0);
+        assert!(lo >= 0.0 && hi < 0.2);
     }
 
     #[test]

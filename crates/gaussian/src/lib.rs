@@ -43,7 +43,7 @@ pub mod specfun;
 pub use chi::{chi_ball_probability, chi_inverse, chi_squared_cdf};
 pub use integrate::{
     analytic_interval_probability_1d, importance_sampling_probability, quadrature_probability_2d,
-    uniform_ball_probability, SharedSampleEvaluator,
+    uniform_ball_probability, RunningEstimate, SharedSampleEvaluator, StreamingProbability,
 };
 pub use mvn::Gaussian;
 pub use noncentral::{ball_probability, inverse_center_distance, noncentral_chi_squared_cdf};

@@ -262,6 +262,35 @@ impl<const D: usize> Matrix<D> {
     pub fn outer(u: &Vector<D>, v: &Vector<D>) -> Self {
         Self::from_fn(|i, j| u[i] * v[j])
     }
+
+    /// Adds `ridge` to every diagonal entry: `M + ridge·I` — Tikhonov
+    /// regularization. The standard repair for a near-singular covariance
+    /// matrix: the spectrum shifts from `λᵢ` to `λᵢ + ridge`, bounding the
+    /// condition number by `(λ_max + ridge) / ridge`.
+    pub fn add_scaled_identity(&self, ridge: f64) -> Self {
+        Self::from_fn(|i, j| {
+            if i == j {
+                self.0[i][j] + ridge
+            } else {
+                self.0[i][j]
+            }
+        })
+    }
+
+    /// Spectral condition number `λ_max / λ_min` of a symmetric matrix.
+    ///
+    /// For SPD input this is the 2-norm condition number; `∞`/NaN values
+    /// (a zero or negative `λ_min`) signal numerical degeneracy that
+    /// callers should treat as "ill-conditioned". Costs one Jacobi
+    /// eigendecomposition — admission-time only, not per-candidate.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the matrix is non-finite or asymmetric, or when the
+    /// Jacobi sweep does not converge.
+    pub fn condition_number(&self) -> Result<f64> {
+        Ok(self.symmetric_eigen()?.condition_number())
+    }
 }
 
 impl<const D: usize> Default for Matrix<D> {
@@ -332,6 +361,28 @@ mod tests {
         // Paper Eq. (34) with γ = 1.
         let s3 = 3.0f64.sqrt();
         Matrix::from_rows([[7.0, 2.0 * s3], [2.0 * s3, 3.0]])
+    }
+
+    #[test]
+    fn condition_number_of_near_singular_matrix_is_large() {
+        let m = Matrix::from_rows([[1.0, 0.999_999], [0.999_999, 1.0]]);
+        let cond = m.condition_number().unwrap();
+        assert!(cond > 1e5, "cond {cond}");
+        // A modest ridge repairs it.
+        let repaired = m.add_scaled_identity(0.1).condition_number().unwrap();
+        assert!(repaired < 25.0, "repaired cond {repaired}");
+        // The identity is perfectly conditioned.
+        let one = Matrix::<3>::identity().condition_number().unwrap();
+        assert!((one - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_identity_touches_only_diagonal() {
+        let m = sigma_paper().add_scaled_identity(2.5);
+        assert!((m[(0, 0)] - 9.5).abs() < 1e-12);
+        assert!((m[(1, 1)] - 5.5).abs() < 1e-12);
+        assert!((m[(0, 1)] - 2.0 * 3.0f64.sqrt()).abs() < 1e-12);
+        assert!((m[(0, 1)] - m[(1, 0)]).abs() < 1e-12);
     }
 
     #[test]
@@ -456,6 +507,24 @@ mod tests {
             let lhs = a.mul_mat(&b).determinant();
             let rhs = a.determinant() * b.determinant();
             prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + rhs.abs()));
+        }
+
+        #[test]
+        fn prop_ridge_bounds_condition_number(
+            d1 in 0.1..10.0f64,
+            d2 in 0.1..10.0f64,
+            c in -0.9..0.9f64,
+            ridge in 0.01..5.0f64,
+        ) {
+            let cov = c * (d1 * d2).sqrt();
+            let m = Matrix([[d1, cov], [cov, d2]]);
+            let before = m.condition_number().unwrap();
+            let after = m.add_scaled_identity(ridge).condition_number().unwrap();
+            // Shifting the spectrum up never worsens conditioning.
+            prop_assert!(after <= before * (1.0 + 1e-9));
+            // And the ridge bounds it outright.
+            let lam_max = m.symmetric_eigen().unwrap().max_eigenvalue();
+            prop_assert!(after <= (lam_max + ridge) / ridge + 1e-9);
         }
 
         #[test]

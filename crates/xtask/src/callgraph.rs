@@ -336,7 +336,7 @@ impl Analysis {
     /// enums must be constructed somewhere outside tests. A reference in
     /// pattern position (match arm, `if let`) does not count.
     pub fn check_error_variants_constructed(&self, out: &mut Vec<Violation>) {
-        const CHECKED_ENUMS: [&str; 1] = ["PrqError"];
+        const CHECKED_ENUMS: [&str; 3] = ["PrqError", "DegradationReason", "Verdict"];
         for e in &self.enums {
             if !CHECKED_ENUMS.contains(&e.name.as_str()) {
                 continue;

@@ -77,10 +77,12 @@ pub mod prelude {
         prq_uncertain_targets, qualification_probability, UncertainTarget,
     };
     pub use gprq_core::{
-        execute_naive, BfCatalog, BfClass, FringeMode, MonteCarloEvaluator, ProbabilityEvaluator,
-        PrqError, PrqExecutor, PrqOutcome, PrqQuery, Quadrature2dEvaluator,
-        QuasiMonteCarloEvaluator, QueryStats, RrCatalog, SharedSamplesEvaluator, StrategySet,
-        ThetaRegion,
+        execute_naive, AdmissionPolicy, BfCatalog, BfClass, DegradationReason, DegradationReport,
+        EvalBudget, FringeMode, MonteCarloEvaluator, ProbabilityEvaluator, PrqError, PrqExecutor,
+        PrqOutcome, PrqQuery, Quadrature2dEvaluator, QuasiMonteCarloEvaluator, QueryStats,
+        ResilientExecutor, ResilientOutcome, RrCatalog, SequentialMonteCarloEvaluator,
+        SharedSamplesEvaluator, StrategySet, TerminalStrategy, ThetaRegion, UncertainCause,
+        Verdict,
     };
     pub use gprq_gaussian::Gaussian;
     pub use gprq_linalg::{Matrix, Vector};
