@@ -28,6 +28,10 @@ pub enum PrqError {
     /// (RR or BF); OR is a pure Phase-2 filter (paper §V-A: "OR is only
     /// useful as a filtering method").
     NoPrimaryStrategy,
+    /// A Monte-Carlo sample budget of zero was requested: no estimator
+    /// can produce a probability from zero draws, and silently returning
+    /// 0.0 would masquerade as a confident rejection.
+    InvalidSampleBudget,
     /// The covariance matrix was rejected by the linear-algebra layer.
     BadCovariance(LinalgError),
     /// A U-catalog built for one dimension was used with a query of
@@ -63,6 +67,9 @@ impl fmt::Display for PrqError {
                     f,
                     "strategy set needs RR or BF; OR alone cannot produce a search region"
                 )
+            }
+            PrqError::InvalidSampleBudget => {
+                write!(f, "Monte-Carlo sample budget must be positive")
             }
             PrqError::BadCovariance(e) => write!(f, "invalid covariance matrix: {e}"),
             PrqError::CatalogDimensionMismatch { catalog, query } => write!(
@@ -104,6 +111,9 @@ mod tests {
             .to_string()
             .contains("1/2"));
         assert!(PrqError::NoPrimaryStrategy.to_string().contains("RR or BF"));
+        assert!(PrqError::InvalidSampleBudget
+            .to_string()
+            .contains("positive"));
     }
 
     #[test]

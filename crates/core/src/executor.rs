@@ -16,6 +16,7 @@
 
 use crate::error::PrqError;
 use crate::evaluator::ProbabilityEvaluator;
+use crate::metrics::{Phase, PipelineMetrics};
 use crate::query::PrqQuery;
 use crate::strategy::bf::{BfBounds, BfClass};
 use crate::strategy::or::OrFilter;
@@ -34,8 +35,14 @@ pub struct QueryStats {
     pub phase1_candidates: usize,
     /// R-tree nodes visited in Phase 1.
     pub node_accesses: usize,
+    /// Leaf records tested against the Phase-1 rectangle
+    /// (`SearchStats::entries_checked`) — the index's read amplification.
+    pub leaf_hits: usize,
     /// Candidates pruned by the RR fringe filter.
     pub pruned_by_fringe: usize,
+    /// Candidates the OR filter rotated into the covariance eigenbasis
+    /// (every OR test costs one rotation, pass or prune).
+    pub or_rotations: usize,
     /// Candidates pruned by the OR oblique-box filter.
     pub pruned_by_or: usize,
     /// Candidates pruned by the BF reject radius `α∥`.
@@ -81,7 +88,9 @@ impl QueryStats {
     pub fn merge(&mut self, other: &QueryStats) {
         self.phase1_candidates += other.phase1_candidates;
         self.node_accesses += other.node_accesses;
+        self.leaf_hits += other.leaf_hits;
         self.pruned_by_fringe += other.pruned_by_fringe;
+        self.or_rotations += other.or_rotations;
         self.pruned_by_or += other.pruned_by_or;
         self.pruned_by_bf += other.pruned_by_bf;
         self.accepted_without_integration += other.accepted_without_integration;
@@ -167,6 +176,7 @@ pub struct PrqExecutor<'c> {
     fringe_mode: FringeMode,
     rr_catalog: Option<&'c RrCatalog>,
     bf_catalog: Option<&'c BfCatalog>,
+    metrics: Option<&'c PipelineMetrics>,
 }
 
 impl<'c> PrqExecutor<'c> {
@@ -178,7 +188,16 @@ impl<'c> PrqExecutor<'c> {
             fringe_mode: FringeMode::PaperFaithful,
             rr_catalog: None,
             bf_catalog: None,
+            metrics: None,
         }
+    }
+
+    /// Attaches a [`PipelineMetrics`] handle: phase spans and per-query
+    /// counter flushes record into it. Without one, execution carries no
+    /// instrumentation cost at all.
+    pub fn with_metrics(mut self, metrics: &'c PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Overrides the fringe-filter mode (see [`FringeMode`]).
@@ -249,6 +268,7 @@ impl<'c> PrqExecutor<'c> {
         self.collect_candidates(tree, query, scratch, &mut stats, &mut answers)?;
 
         // --- Phase 3: probability computation. -------------------------
+        let span3 = self.metrics.map(|m| m.phase_span(Phase::Integrate));
         let t2 = Instant::now();
         evaluator.begin_query(query.gaussian());
         for &(point, data) in scratch.to_integrate.iter() {
@@ -260,6 +280,12 @@ impl<'c> PrqExecutor<'c> {
         }
         stats.phase3_time = t2.elapsed();
         stats.answers = answers.len();
+        if let Some(span) = span3 {
+            span.finish();
+        }
+        if let Some(metrics) = self.metrics {
+            metrics.record_query(&stats);
+        }
 
         Ok(PrqOutcome { answers, stats })
     }
@@ -323,6 +349,7 @@ impl<'c> PrqExecutor<'c> {
         };
 
         // --- Phase 1: index-based search. ------------------------------
+        let span1 = self.metrics.map(|m| m.phase_span(Phase::Search));
         let t0 = Instant::now();
         let search_rect = match (&rr_filter, &bf_bounds) {
             (Some(rr), _) => Some(rr.search_rect()),
@@ -343,11 +370,16 @@ impl<'c> PrqExecutor<'c> {
             let mut search_stats = SearchStats::default();
             tree.query_rect_into(&rect, &mut search_stats, candidates);
             stats.node_accesses = search_stats.nodes_visited;
+            stats.leaf_hits = search_stats.entries_checked;
         }
         stats.phase1_candidates = candidates.len();
         stats.phase1_time = t0.elapsed();
+        if let Some(span) = span1 {
+            span.finish();
+        }
 
         // --- Phase 2: filtering. ---------------------------------------
+        let span2 = self.metrics.map(|m| m.phase_span(Phase::Filter));
         let t1 = Instant::now();
         'candidates: for &(point, data) in candidates.iter() {
             if let Some(rr) = &rr_filter {
@@ -357,6 +389,7 @@ impl<'c> PrqExecutor<'c> {
                 }
             }
             if let Some(or) = &or_filter {
+                stats.or_rotations += 1;
                 if !or.passes(point) {
                     stats.pruned_by_or += 1;
                     continue 'candidates;
@@ -379,6 +412,9 @@ impl<'c> PrqExecutor<'c> {
             to_integrate.push((point, data));
         }
         stats.phase2_time = t1.elapsed();
+        if let Some(span) = span2 {
+            span.finish();
+        }
         Ok(())
     }
 }

@@ -9,11 +9,13 @@
 
 use crate::cost::{expected_integrations, region_volumes, DensityEstimate, RegionVolumes};
 use crate::error::PrqError;
+use crate::metrics::PipelineMetrics;
 use crate::query::PrqQuery;
 use crate::strategy::bf::{BfBounds, RejectBound};
 use crate::strategy::or::OrFilter;
 use crate::strategy::StrategySet;
 use crate::theta_region::ThetaRegion;
+use gprq_obs::{MetricValue, MetricsSnapshot};
 use std::fmt;
 
 /// The derived execution plan of a query.
@@ -38,6 +40,10 @@ pub struct QueryPlan {
     pub volumes: RegionVolumes,
     /// Expected Phase-3 integrations under the supplied density.
     pub expected_integrations: f64,
+    /// Observed runtime metrics, when the plan was derived from a live
+    /// [`PipelineMetrics`] via [`explain_with_metrics`]. Lets the plan
+    /// printout contrast *predicted* cost with *measured* counters.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Derives the execution plan for `query` under `strategies`, predicting
@@ -92,7 +98,26 @@ pub fn explain<const D: usize>(
         provably_empty,
         volumes,
         expected_integrations: expected,
+        metrics: None,
     })
+}
+
+/// [`explain`] augmented with a snapshot of observed pipeline metrics,
+/// so the rendered plan contrasts predicted cost with measured counters.
+///
+/// # Errors
+///
+/// Propagates strategy-set validation and θ-region errors, exactly as
+/// [`explain`] does.
+pub fn explain_with_metrics<const D: usize>(
+    query: &PrqQuery<D>,
+    strategies: StrategySet,
+    density: &DensityEstimate,
+    metrics: &PipelineMetrics,
+) -> Result<QueryPlan, PrqError> {
+    let mut plan = explain(query, strategies, density)?;
+    plan.metrics = Some(metrics.snapshot());
+    Ok(plan)
 }
 
 impl fmt::Display for QueryPlan {
@@ -125,7 +150,22 @@ impl fmt::Display for QueryPlan {
             f,
             "  expected integrations ≈ {:.0}",
             self.expected_integrations
-        )
+        )?;
+        if let Some(snap) = &self.metrics {
+            writeln!(f, "  observed metrics:")?;
+            for entry in snap.iter() {
+                match entry.value {
+                    MetricValue::Counter(v) => writeln!(f, "    {} = {v}", entry.name)?,
+                    MetricValue::Gauge(v) => writeln!(f, "    {} = {v} (gauge)", entry.name)?,
+                    MetricValue::Histogram(h) => writeln!(
+                        f,
+                        "    {}: count {} p50 {} p99 {}",
+                        entry.name, h.count, h.p50, h.p99
+                    )?,
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -193,6 +233,29 @@ mod tests {
             all < rr,
             "ALL ({all}) should predict less work than RR ({rr})"
         );
+    }
+
+    #[test]
+    fn plan_with_metrics_renders_observed_section() {
+        use crate::metrics::{names, PipelineMetrics};
+        let metrics = PipelineMetrics::new();
+        metrics.registry().counter(names::QUERIES).add(7);
+        let plan = explain_with_metrics(
+            &query(10.0, 25.0, 0.01),
+            StrategySet::ALL,
+            &density(),
+            &metrics,
+        )
+        .unwrap();
+        let snap = plan.metrics.as_ref().unwrap();
+        assert_eq!(snap.counter(names::QUERIES), Some(7));
+        let text = plan.to_string();
+        assert!(text.contains("observed metrics"), "{text}");
+        assert!(text.contains("prq_queries_total = 7"), "{text}");
+        // The plain `explain` path carries no snapshot and no section.
+        let bare = explain(&query(10.0, 25.0, 0.01), StrategySet::ALL, &density()).unwrap();
+        assert!(bare.metrics.is_none());
+        assert!(!bare.to_string().contains("observed metrics"));
     }
 
     #[test]

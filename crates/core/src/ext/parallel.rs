@@ -6,6 +6,8 @@
 //! the base seed and its index, so the result is bit-identical regardless
 //! of thread count (and identical to the sequential run).
 
+use crate::error::PrqError;
+use crate::metrics::PipelineMetrics;
 use crate::query::PrqQuery;
 use gprq_gaussian::integrate::importance_sampling_probability;
 use gprq_linalg::Vector;
@@ -26,16 +28,19 @@ pub struct ParallelIntegrator {
 impl ParallelIntegrator {
     /// Creates an integrator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples == 0`.
-    pub fn new(samples: usize, seed: u64, threads: usize) -> Self {
-        assert!(samples > 0);
-        ParallelIntegrator {
+    /// [`PrqError::InvalidSampleBudget`] if `samples == 0` — a
+    /// zero-sample estimate would be an unfounded hard rejection.
+    pub fn new(samples: usize, seed: u64, threads: usize) -> Result<Self, PrqError> {
+        if samples == 0 {
+            return Err(PrqError::InvalidSampleBudget);
+        }
+        Ok(ParallelIntegrator {
             samples,
             seed,
             threads,
-        }
+        })
     }
 
     fn worker_count(&self) -> usize {
@@ -67,10 +72,35 @@ impl ParallelIntegrator {
         query: &PrqQuery<D>,
         candidates: &[Vector<D>],
     ) -> Vec<f64> {
+        self.run(query, candidates, None)
+    }
+
+    /// [`ParallelIntegrator::probabilities`] recording per-worker sample
+    /// totals and fan-out counters into `metrics`. The probabilities are
+    /// bit-identical to the unmetered variant: instrumentation happens
+    /// once per worker, outside the sampling loops.
+    pub fn probabilities_with_metrics<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+        metrics: &PipelineMetrics,
+    ) -> Vec<f64> {
+        self.run(query, candidates, Some(metrics))
+    }
+
+    fn run<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+        metrics: Option<&PipelineMetrics>,
+    ) -> Vec<f64> {
         let n = candidates.len();
         let mut out = vec![0.0f64; n];
         if n == 0 {
             return out;
+        }
+        if let Some(m) = metrics {
+            m.record_parallel_objects(n);
         }
         let workers = self.worker_count().min(n);
         let chunk = n.div_ceil(workers);
@@ -94,6 +124,12 @@ impl ParallelIntegrator {
                             self.samples,
                             &mut rng,
                         );
+                    }
+                    // One histogram write per worker, after its loop: the
+                    // sample *total* is layout-independent (Σ = n·samples),
+                    // only the per-worker distribution varies.
+                    if let Some(m) = metrics {
+                        m.record_worker_samples(out_chunk.len().saturating_mul(self.samples));
                     }
                 });
             }
@@ -136,12 +172,26 @@ mod tests {
     }
 
     #[test]
+    fn new_rejects_zero_samples() {
+        assert!(matches!(
+            ParallelIntegrator::new(0, 1, 1),
+            Err(PrqError::InvalidSampleBudget)
+        ));
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let q = query();
         let cands = candidates(64);
-        let p1 = ParallelIntegrator::new(5_000, 7, 1).probabilities(&q, &cands);
-        let p4 = ParallelIntegrator::new(5_000, 7, 4).probabilities(&q, &cands);
-        let p7 = ParallelIntegrator::new(5_000, 7, 7).probabilities(&q, &cands);
+        let p1 = ParallelIntegrator::new(5_000, 7, 1)
+            .unwrap()
+            .probabilities(&q, &cands);
+        let p4 = ParallelIntegrator::new(5_000, 7, 4)
+            .unwrap()
+            .probabilities(&q, &cands);
+        let p7 = ParallelIntegrator::new(5_000, 7, 7)
+            .unwrap()
+            .probabilities(&q, &cands);
         assert_eq!(p1, p4);
         assert_eq!(p1, p7);
     }
@@ -154,15 +204,67 @@ mod tests {
         // in the qualifying answer set and in the raw probabilities —
         // thread count deliberately left at `0` (machine-dependent) to
         // show the guarantee does not hinge on a fixed worker layout.
-        let a = ParallelIntegrator::new(5_000, 42, 0).qualify(&q, &cands);
-        let b = ParallelIntegrator::new(5_000, 42, 0).qualify(&q, &cands);
+        let int42 = ParallelIntegrator::new(5_000, 42, 0).unwrap();
+        let a = int42.qualify(&q, &cands);
+        let b = int42.qualify(&q, &cands);
         assert_eq!(a, b);
-        let p1 = ParallelIntegrator::new(5_000, 42, 0).probabilities(&q, &cands);
-        let p2 = ParallelIntegrator::new(5_000, 42, 0).probabilities(&q, &cands);
+        let p1 = int42.probabilities(&q, &cands);
+        let p2 = int42.probabilities(&q, &cands);
         assert_eq!(p1, p2);
         // A different base seed must actually perturb the estimates.
-        let p3 = ParallelIntegrator::new(5_000, 43, 0).probabilities(&q, &cands);
+        let p3 = ParallelIntegrator::new(5_000, 43, 0)
+            .unwrap()
+            .probabilities(&q, &cands);
         assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn parity_across_thread_counts_probabilities_and_metric_counters() {
+        use crate::metrics::{names, PipelineMetrics};
+        // The determinism guarantee extended to observability: every
+        // worker layout must report bit-identical probabilities AND
+        // identical metric *counter* values — only the span-duration and
+        // per-worker histograms may legitimately differ.
+        type NamedCounters = Vec<(&'static str, u64)>;
+        let q = query();
+        let cands = candidates(64);
+        let mut reference: Option<(Vec<f64>, NamedCounters)> = None;
+        for threads in [1usize, 2, 4, 0] {
+            let metrics = PipelineMetrics::new();
+            let probs = ParallelIntegrator::new(5_000, 42, threads)
+                .unwrap()
+                .probabilities_with_metrics(&q, &cands, &metrics);
+            let counters = metrics.snapshot().counters();
+            match &reference {
+                None => reference = Some((probs, counters)),
+                Some((p0, c0)) => {
+                    assert_eq!(&probs, p0, "threads = {threads}: probabilities drifted");
+                    assert_eq!(&counters, c0, "threads = {threads}: counters drifted");
+                }
+            }
+        }
+        let (_, counters) = reference.unwrap();
+        let find = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(find(names::PARALLEL_OBJECTS), 64);
+        assert_eq!(find(names::PARALLEL_SAMPLES), 64 * 5_000);
+    }
+
+    #[test]
+    fn metered_probabilities_match_unmetered() {
+        use crate::metrics::PipelineMetrics;
+        let q = query();
+        let cands = candidates(16);
+        let integrator = ParallelIntegrator::new(2_000, 9, 3).unwrap();
+        let plain = integrator.probabilities(&q, &cands);
+        let metrics = PipelineMetrics::new();
+        let metered = integrator.probabilities_with_metrics(&q, &cands, &metrics);
+        assert_eq!(plain, metered);
     }
 
     #[test]
@@ -170,7 +272,9 @@ mod tests {
         use crate::evaluator::{ProbabilityEvaluator, Quadrature2dEvaluator};
         let q = query();
         let cands = candidates(16);
-        let probs = ParallelIntegrator::new(100_000, 3, 0).probabilities(&q, &cands);
+        let probs = ParallelIntegrator::new(100_000, 3, 0)
+            .unwrap()
+            .probabilities(&q, &cands);
         let mut oracle = Quadrature2dEvaluator::default();
         for (c, p) in cands.iter().zip(&probs) {
             let truth = oracle.probability(q.gaussian(), c, q.delta());
@@ -183,14 +287,18 @@ mod tests {
         let q = query();
         let near = Vector::from([500.0, 500.0]);
         let far = Vector::from([900.0, 900.0]);
-        let flags = ParallelIntegrator::new(10_000, 1, 2).qualify(&q, &[near, far]);
+        let flags = ParallelIntegrator::new(10_000, 1, 2)
+            .unwrap()
+            .qualify(&q, &[near, far]);
         assert_eq!(flags, vec![true, false]);
     }
 
     #[test]
     fn empty_candidates() {
         let q = query();
-        let probs = ParallelIntegrator::new(1_000, 1, 4).probabilities(&q, &[]);
+        let probs = ParallelIntegrator::new(1_000, 1, 4)
+            .unwrap()
+            .probabilities(&q, &[]);
         assert!(probs.is_empty());
     }
 
@@ -198,7 +306,9 @@ mod tests {
     fn more_threads_than_candidates() {
         let q = query();
         let cands = candidates(3);
-        let probs = ParallelIntegrator::new(1_000, 1, 16).probabilities(&q, &cands);
+        let probs = ParallelIntegrator::new(1_000, 1, 16)
+            .unwrap()
+            .probabilities(&q, &cands);
         assert_eq!(probs.len(), 3);
     }
 }

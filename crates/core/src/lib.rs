@@ -57,6 +57,7 @@ pub mod explain;
 pub mod ext;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod metrics;
 pub mod naive;
 pub mod query;
 pub mod resilience;
@@ -72,9 +73,10 @@ pub use evaluator::{
     SequentialMonteCarloEvaluator, SharedSamplesEvaluator,
 };
 pub use executor::{PrqExecutor, PrqOutcome, QueryScratch, QueryStats};
-pub use explain::{explain, QueryPlan};
+pub use explain::{explain, explain_with_metrics, QueryPlan};
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultPlan, FaultSchedule, FaultSite};
+pub use metrics::{Phase, PipelineMetrics};
 pub use naive::execute_naive;
 pub use query::PrqQuery;
 pub use resilience::{

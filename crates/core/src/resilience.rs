@@ -35,6 +35,7 @@
 use crate::error::PrqError;
 use crate::evaluator::{BudgetedEvaluator, EvalFailure};
 use crate::executor::{PrqExecutor, QueryScratch, QueryStats};
+use crate::metrics::{Phase, PipelineMetrics};
 use crate::query::PrqQuery;
 use crate::strategy::rr::FringeMode;
 use crate::strategy::StrategySet;
@@ -561,6 +562,7 @@ pub struct ResilientExecutor<'c> {
     bf_catalog: Option<&'c BfCatalog>,
     budget: EvalBudget,
     policy: AdmissionPolicy,
+    metrics: Option<&'c PipelineMetrics>,
     #[cfg(feature = "fault-inject")]
     faults: Option<FaultPlan>,
 }
@@ -576,9 +578,18 @@ impl<'c> ResilientExecutor<'c> {
             bf_catalog: None,
             budget: EvalBudget::paper_default(),
             policy: AdmissionPolicy::default(),
+            metrics: None,
             #[cfg(feature = "fault-inject")]
             faults: None,
         }
+    }
+
+    /// Attaches a [`PipelineMetrics`] handle: phase spans, per-query
+    /// counters, per-object sample histograms, and the repair/fallback
+    /// counters all record into it.
+    pub fn with_metrics(mut self, metrics: &'c PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Overrides the fringe-filter mode (see [`FringeMode`]).
@@ -766,6 +777,9 @@ impl<'c> ResilientExecutor<'c> {
 
         if naive_cause.is_none() {
             let mut exec = PrqExecutor::new(strategies).with_fringe_mode(self.fringe_mode);
+            if let Some(metrics) = self.metrics {
+                exec = exec.with_metrics(metrics);
+            }
             if let Some(cat) = rr_cat {
                 exec = exec.with_rr_catalog(cat);
             }
@@ -791,11 +805,15 @@ impl<'c> ResilientExecutor<'c> {
                 stats = QueryStats::default();
                 answers.clear();
                 scratch = QueryScratch::new();
+                let span1 = self.metrics.map(|m| m.phase_span(Phase::Search));
                 let t0 = Instant::now();
                 let work = scratch.naive_work_list();
                 work.extend(tree.iter());
                 stats.phase1_candidates = work.len();
                 stats.phase1_time = t0.elapsed();
+                if let Some(span) = span1 {
+                    span.finish();
+                }
                 TerminalStrategy::NaiveScan
             }
         };
@@ -812,6 +830,10 @@ impl<'c> ResilientExecutor<'c> {
             &mut uncertain,
         );
         stats.answers = answers.len();
+        if let Some(metrics) = self.metrics {
+            metrics.record_query(&stats);
+            metrics.record_report(&report);
+        }
 
         Ok(ResilientOutcome {
             answers,
@@ -837,6 +859,7 @@ impl<'c> ResilientExecutor<'c> {
         E: BudgetedEvaluator<D>,
     {
         let items = scratch.work_list();
+        let span3 = self.metrics.map(|m| m.phase_span(Phase::Integrate));
         let t2 = Instant::now();
         evaluator.begin_query(query.gaussian());
         let mut faulted = 0usize;
@@ -899,6 +922,9 @@ impl<'c> ResilientExecutor<'c> {
                 Ok(rep) => {
                     stats.integrations += 1;
                     stats.phase3_samples += rep.samples;
+                    if let Some(metrics) = self.metrics {
+                        metrics.record_phase3_object(rep.samples);
+                    }
                     if rep.early {
                         stats.early_terminations += 1;
                     }
@@ -948,6 +974,9 @@ impl<'c> ResilientExecutor<'c> {
             });
         }
         stats.phase3_time = t2.elapsed();
+        if let Some(span) = span3 {
+            span.finish();
+        }
     }
 }
 

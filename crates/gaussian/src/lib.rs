@@ -46,6 +46,9 @@ pub use integrate::{
     uniform_ball_probability, RunningEstimate, SharedSampleEvaluator, StreamingProbability,
 };
 pub use mvn::Gaussian;
-pub use noncentral::{ball_probability, inverse_center_distance, noncentral_chi_squared_cdf};
+pub use noncentral::{
+    ball_probability, inverse_center_distance, isotropic_qualification_probability,
+    noncentral_chi_squared_cdf,
+};
 pub use quasi::{quasi_monte_carlo_probability, Halton};
 pub use sampler::{GaussianSampler, StandardNormal};

@@ -154,6 +154,23 @@ pub fn ball_probability(d: usize, beta: f64, rho: f64) -> f64 {
     noncentral_chi_squared_cdf(d, beta * beta, rho * rho)
 }
 
+/// Closed-form qualification probability for an **isotropic** query
+/// Gaussian: for `x ~ N(q, σ²I_d)` and a target object at distance
+/// `dist = ‖o − q‖`, returns `Pr(‖x − o‖ ≤ δ)`.
+///
+/// Standardizing by σ reduces the integral to the noncentral-χ² ball
+/// probability with center offset `dist/σ` and radius `δ/σ` — the exact
+/// value the Monte-Carlo estimators approximate, which makes this the
+/// oracle for the statistical conformance suite. Non-finite or
+/// non-positive `sigma` yields `0.0` rather than a panic.
+pub fn isotropic_qualification_probability(d: usize, sigma: f64, dist: f64, delta: f64) -> f64 {
+    let well_posed = sigma.is_finite() && sigma > 0.0 && dist >= 0.0 && delta > 0.0;
+    if !well_posed {
+        return 0.0;
+    }
+    ball_probability(d, dist / sigma, delta / sigma)
+}
+
 /// Solves `ball_probability(d, β, rho) = target` for the center distance β.
 ///
 /// This is the exact form of the paper's `ucatalog_lookup(δ, θ)` (§IV-C):
@@ -223,6 +240,33 @@ mod tests {
                 assert!((nc - c).abs() < 1e-13, "d = {d}, x = {x}");
             }
         }
+    }
+
+    #[test]
+    fn isotropic_qualification_reduces_to_standardized_ball() {
+        for &sigma in &[2.0, 5.0] {
+            for &dist in &[0.0, 5.0, 12.0] {
+                for &delta in &[5.0, 15.0] {
+                    let got = isotropic_qualification_probability(2, sigma, dist, delta);
+                    let expect = ball_probability(2, dist / sigma, delta / sigma);
+                    assert!(
+                        (got - expect).abs() < 1e-15,
+                        "σ = {sigma}, dist = {dist}, δ = {delta}"
+                    );
+                }
+            }
+        }
+        // Degenerate inputs degrade to 0 instead of panicking.
+        assert_eq!(isotropic_qualification_probability(2, 0.0, 1.0, 1.0), 0.0);
+        assert_eq!(
+            isotropic_qualification_probability(2, f64::NAN, 1.0, 1.0),
+            0.0
+        );
+        assert_eq!(
+            isotropic_qualification_probability(2, 1.0, f64::NAN, 1.0),
+            0.0
+        );
+        assert_eq!(isotropic_qualification_probability(2, 1.0, 1.0, 0.0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Time sources for span timing: a monotonic production clock and a
+//! scriptable mock for deterministic tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// The trait exists so [`PhaseSpan`](crate::PhaseSpan) timing is
+/// testable without sleeping: production code passes
+/// [`MonotonicClock`], tests pass [`MockClock`] and advance it by hand.
+/// Implementations must be monotonic (readings never decrease) but need
+/// not share an epoch — only differences of readings are meaningful.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's (arbitrary) origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-clock backend over [`std::time::Instant`].
+///
+/// Readings are nanoseconds since the clock was created; `Instant`
+/// guarantees monotonicity. Saturates after ~584 years of uptime.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually advanced clock for deterministic span tests.
+///
+/// Starts at zero; [`MockClock::advance`] and [`MockClock::set`] move it
+/// forward. `set` to an earlier time is ignored rather than honored, so
+/// the monotonicity contract of [`Clock`] holds even under misuse.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock at time zero.
+    pub const fn new() -> Self {
+        MockClock {
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Advances the clock by `nanos` (saturating).
+    pub fn advance(&self, nanos: u64) {
+        let _ = self
+            .now
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(nanos))
+            });
+    }
+
+    /// Moves the clock to `nanos` if that is not in the past.
+    pub fn set(&self, nanos: u64) {
+        self.now.fetch_max(nanos, Ordering::Relaxed);
+    }
+}
+
+impl Clock for MockClock {
+    fn now_nanos(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_is_scriptable_and_monotone() {
+        let c = MockClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(100);
+        assert_eq!(c.now_nanos(), 100);
+        c.set(50); // backwards: ignored
+        assert_eq!(c.now_nanos(), 100);
+        c.set(250);
+        assert_eq!(c.now_nanos(), 250);
+        c.advance(u64::MAX);
+        assert_eq!(c.now_nanos(), u64::MAX);
+    }
+}

@@ -1,0 +1,54 @@
+//! # gprq-obs
+//!
+//! Zero-dependency observability primitives for the query pipeline:
+//! atomics + `std` only, no allocation on the record path, and no
+//! panicking operation anywhere (the workspace auditor enforces the
+//! panic-free rule on this crate like on the numeric core).
+//!
+//! * [`Counter`] — monotonic event counter with saturating adds;
+//! * [`Gauge`] — last-value / max-value instrument;
+//! * [`Histogram`] — 65 log₂-bucketed value distribution with
+//!   [`Histogram::merge`] and conservative quantile estimates;
+//! * [`Registry`] — get-or-create handle map keyed by `&'static str`;
+//! * [`PhaseSpan`] — RAII wall-clock timer recording into a histogram,
+//!   backed by a [`Clock`] that is monotonic in production
+//!   ([`MonotonicClock`]) and scriptable in tests ([`MockClock`]);
+//! * [`MetricsSnapshot`] — a point-in-time copy of a registry with a
+//!   hand-rolled JSON renderer (same style as the bench bins).
+//!
+//! ```
+//! use gprq_obs::{MockClock, PhaseSpan, Registry};
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::new();
+//! let queries = registry.counter("prq_queries_total");
+//! let phase3 = registry.histogram("prq_phase3_duration_ns");
+//!
+//! let clock = Arc::new(MockClock::new());
+//! queries.inc();
+//! let span = PhaseSpan::start(clock.as_ref(), phase3.as_ref());
+//! clock.advance(1_500); // pretend Phase 3 took 1.5 µs
+//! span.finish();
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("prq_queries_total"), Some(1));
+//! assert_eq!(snap.histogram("prq_phase3_duration_ns").map(|h| h.count), Some(1));
+//! assert!(snap.to_json().contains("\"prq_queries_total\": 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod histogram;
+mod metric;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use clock::{Clock, MockClock, MonotonicClock};
+pub use histogram::{Histogram, BUCKET_COUNT};
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use snapshot::{HistogramSummary, MetricValue, MetricsSnapshot, SnapshotEntry};
+pub use span::PhaseSpan;

@@ -1,0 +1,130 @@
+//! Scalar instruments: [`Counter`] and [`Gauge`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Adds `n` to `cell`, saturating at `u64::MAX` instead of wrapping.
+///
+/// A wrapped counter silently lies about throughput; a saturated one is
+/// visibly pinned at the ceiling. The CAS loop always succeeds because
+/// the closure never returns `None`.
+pub(crate) fn saturating_add(cell: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+        Some(cur.saturating_add(n))
+    });
+}
+
+/// A monotonically increasing event counter.
+///
+/// All operations are relaxed atomics — counters are statistical
+/// instruments, not synchronization primitives — and additions saturate
+/// at `u64::MAX`, so no input can make recording panic or wrap.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        saturating_add(&self.value, n);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument with a max-tracking variant.
+///
+/// Unlike [`Counter`], a gauge may move in both directions (`set`); the
+/// pipeline uses it for configuration-like facts (worker counts, budget
+/// ceilings) rather than event streams.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_saturates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_sets_and_tracks_max() {
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set(3);
+        assert_eq!(g.get(), 3, "set moves down too");
+        g.record_max(10);
+        g.record_max(5);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,259 @@
+//! Point-in-time metric snapshots with a hand-rolled JSON renderer.
+
+use std::fmt;
+
+/// Scalar summary of a histogram at snapshot time.
+///
+/// Quantiles carry the conservative bucket-upper-bound semantics of
+/// [`Histogram::quantile`](crate::Histogram::quantile).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Conservative median estimate.
+    pub p50: u64,
+    /// Conservative 90th-percentile estimate.
+    pub p90: u64,
+    /// Conservative 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean of recorded values (`NaN`-free: `0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The value of one snapshotted instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(u64),
+    /// A histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// One named instrument in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The metric's registered name.
+    pub name: &'static str,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a [`Registry`](crate::Registry), ordered by
+/// metric name.
+///
+/// The JSON renderer is hand-rolled in the same style as the bench
+/// bins' output — metric names are static identifiers (no escaping
+/// needed) and every value is an integer, so the full JSON grammar
+/// would be dead weight.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn from_entries(entries: Vec<SnapshotEntry>) -> Self {
+        MetricsSnapshot { entries }
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SnapshotEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of snapshotted instruments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no instruments.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn find(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// The counter registered under `name`, if any.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.find(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.find(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram summary registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.find(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All `(name, value)` counter pairs, in name order — the shape the
+    /// determinism parity tests compare across thread counts.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.value {
+                MetricValue::Counter(v) => Some((e.name, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
+    /// and `histograms` sections, names sorted within each.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_section(
+            &mut out,
+            self.entries.iter().filter_map(|e| match e.value {
+                MetricValue::Counter(v) => Some(format!("\"{}\": {}", e.name, v)),
+                _ => None,
+            }),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_section(
+            &mut out,
+            self.entries.iter().filter_map(|e| match e.value {
+                MetricValue::Gauge(v) => Some(format!("\"{}\": {}", e.name, v)),
+                _ => None,
+            }),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_section(&mut out, self.entries.iter().filter_map(|e| match e.value {
+            MetricValue::Histogram(h) => Some(format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                e.name, h.count, h.sum, h.max, h.p50, h.p90, h.p99
+            )),
+            _ => None,
+        }));
+        out.push_str("}\n}");
+        out
+    }
+}
+
+fn push_section(out: &mut String, items: impl Iterator<Item = String>) {
+    let mut first = true;
+    for item in items {
+        if first {
+            out.push_str("\n    ");
+            first = false;
+        } else {
+            out.push_str(",\n    ");
+        }
+        out.push_str(&item);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        for e in &self.entries {
+            match e.value {
+                MetricValue::Counter(v) => writeln!(f, "{} = {v}", e.name)?,
+                MetricValue::Gauge(v) => writeln!(f, "{} = {v} (gauge)", e.name)?,
+                MetricValue::Histogram(h) => writeln!(
+                    f,
+                    "{}: count {} sum {} p50 {} p90 {} p99 {} max {}",
+                    e.name, h.count, h.sum, h.p50, h.p90, h.p99, h.max
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let r = Registry::new();
+        r.counter("prq_queries_total").add(3);
+        r.gauge("prq_workers").set(4);
+        let h = r.histogram("prq_phase3_duration_ns");
+        h.record(1_000);
+        h.record(3_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let json = sample().to_json();
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"prq_queries_total\": 3"), "{json}");
+        assert!(json.contains("\"prq_workers\": 4"), "{json}");
+        assert!(json.contains("\"prq_phase3_duration_ns\""), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        // Balanced braces — a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = Registry::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_json().matches('{').count(), 4);
+        assert!(snap.to_string().contains("no metrics"));
+    }
+
+    #[test]
+    fn accessors_distinguish_kinds() {
+        let snap = sample();
+        assert_eq!(snap.counter("prq_queries_total"), Some(3));
+        assert_eq!(snap.counter("prq_workers"), None, "gauge is not a counter");
+        assert_eq!(snap.gauge("prq_workers"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+        let h = snap.histogram("prq_phase3_duration_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4_000);
+        assert!((h.mean() - 2_000.0).abs() < 1e-9);
+        assert_eq!(snap.counters(), vec![("prq_queries_total", 3)]);
+    }
+
+    #[test]
+    fn display_lists_every_entry() {
+        let text = sample().to_string();
+        assert!(text.contains("prq_queries_total = 3"));
+        assert!(text.contains("(gauge)"));
+        assert!(text.contains("count 2"));
+    }
+}

@@ -1,0 +1,125 @@
+//! RAII phase timing.
+
+use crate::clock::Clock;
+use crate::histogram::Histogram;
+
+/// An RAII wall-clock span: started against a [`Clock`], it records its
+/// elapsed nanoseconds into a [`Histogram`] exactly once — either when
+/// [`PhaseSpan::finish`] is called or when the span is dropped (early
+/// return, `?`, panic unwind), so a phase duration is never lost on an
+/// abnormal exit path.
+///
+/// Elapsed time is computed with saturating subtraction: a misbehaving
+/// clock can produce a zero-length span but never a panic.
+#[derive(Debug)]
+pub struct PhaseSpan<'a> {
+    clock: &'a dyn Clock,
+    target: &'a Histogram,
+    start: u64,
+    armed: bool,
+}
+
+impl<'a> PhaseSpan<'a> {
+    /// Starts a span now; it records into `target` when finished or
+    /// dropped.
+    pub fn start(clock: &'a dyn Clock, target: &'a Histogram) -> Self {
+        PhaseSpan {
+            clock,
+            target,
+            start: clock.now_nanos(),
+            armed: true,
+        }
+    }
+
+    /// Nanoseconds elapsed so far (without recording).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.clock.now_nanos().saturating_sub(self.start)
+    }
+
+    /// Ends the span, records the duration, and returns it in
+    /// nanoseconds. The subsequent drop is a no-op.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_nanos();
+        self.target.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Ends the span without recording anything — for abandoned phases
+    /// whose partial duration would pollute the distribution.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.target.record(self.elapsed_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+
+    #[test]
+    fn finish_records_exact_elapsed() {
+        let clock = MockClock::new();
+        let hist = Histogram::new();
+        let span = PhaseSpan::start(&clock, &hist);
+        clock.advance(1_234);
+        assert_eq!(span.elapsed_nanos(), 1_234);
+        assert_eq!(span.finish(), 1_234);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 1_234);
+    }
+
+    #[test]
+    fn drop_records_once() {
+        let clock = MockClock::new();
+        let hist = Histogram::new();
+        {
+            let _span = PhaseSpan::start(&clock, &hist);
+            clock.advance(500);
+        } // drop records
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 500);
+    }
+
+    #[test]
+    fn finish_then_drop_does_not_double_record() {
+        let clock = MockClock::new();
+        let hist = Histogram::new();
+        let span = PhaseSpan::start(&clock, &hist);
+        clock.advance(10);
+        span.finish();
+        assert_eq!(hist.count(), 1, "drop after finish must not re-record");
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let clock = MockClock::new();
+        let hist = Histogram::new();
+        let span = PhaseSpan::start(&clock, &hist);
+        clock.advance(10);
+        span.cancel();
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn spans_survive_panic_unwind() {
+        let clock = MockClock::new();
+        let hist = Histogram::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = PhaseSpan::start(&clock, &hist);
+            clock.advance(77);
+            panic!("phase blew up");
+        }));
+        assert!(result.is_err());
+        assert_eq!(hist.count(), 1, "unwind path still records the span");
+        assert_eq!(hist.sum(), 77);
+    }
+}

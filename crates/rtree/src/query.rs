@@ -32,6 +32,16 @@ pub struct SearchStats {
     pub results: usize,
 }
 
+impl SearchStats {
+    /// Accumulates another search's counters into this one (saturating),
+    /// so a batch driver or metrics layer can aggregate across queries.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
+        self.entries_checked = self.entries_checked.saturating_add(other.entries_checked);
+        self.results = self.results.saturating_add(other.results);
+    }
+}
+
 /// Reusable scratch state for [`RTree::nearest_neighbors_into`].
 ///
 /// Owns the best-first priority queue so repeated k-NN queries against

@@ -264,6 +264,26 @@ fn search_stats_accumulate_and_prune() {
     tree.query_rect_visit(&Rect::everything(), &mut full, |_, _| {});
     assert_eq!(full.results, 10_000);
     assert_eq!(full.nodes_visited, tree.node_count());
+    // merge() accumulates counters component-wise.
+    let mut merged = stats;
+    merged.merge(&full);
+    assert_eq!(
+        merged.nodes_visited,
+        stats.nodes_visited + full.nodes_visited
+    );
+    assert_eq!(
+        merged.entries_checked,
+        stats.entries_checked + full.entries_checked
+    );
+    assert_eq!(merged.results, stats.results + full.results);
+    // Saturating at the top instead of wrapping.
+    let mut top = SearchStats {
+        nodes_visited: usize::MAX,
+        entries_checked: usize::MAX,
+        results: usize::MAX,
+    };
+    top.merge(&full);
+    assert_eq!(top.nodes_visited, usize::MAX);
 }
 
 #[test]

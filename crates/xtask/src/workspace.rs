@@ -6,11 +6,12 @@ use std::path::{Path, PathBuf};
 /// Library crates whose `src/` trees must be panic-free (rule R1). The
 /// paper's filtering pipeline lives here; a panic in these crates is a
 /// production outage, not a test failure.
-pub const PANIC_FREE_CRATES: [&str; 4] = [
+pub const PANIC_FREE_CRATES: [&str; 5] = [
     "crates/linalg",
     "crates/gaussian",
     "crates/rtree",
     "crates/core",
+    "crates/obs",
 ];
 
 /// Files containing conservative-lookup functions that rule R5 checks

@@ -6,7 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FLAGS=("$@")
-for bin in fig17 fig13_16 table2 table3 sensitivity scaling dims table1 ablation resilience; do
+for bin in fig17 fig13_16 table2 table3 sensitivity scaling dims table1 ablation resilience obs; do
     echo "==================================================================="
     echo "### $bin"
     echo "==================================================================="

@@ -78,11 +78,11 @@ pub mod prelude {
     };
     pub use gprq_core::{
         execute_naive, AdmissionPolicy, BfCatalog, BfClass, DegradationReason, DegradationReport,
-        EvalBudget, FringeMode, MonteCarloEvaluator, ProbabilityEvaluator, PrqError, PrqExecutor,
-        PrqOutcome, PrqQuery, Quadrature2dEvaluator, QuasiMonteCarloEvaluator, QueryStats,
-        ResilientExecutor, ResilientOutcome, RrCatalog, SequentialMonteCarloEvaluator,
-        SharedSamplesEvaluator, StrategySet, TerminalStrategy, ThetaRegion, UncertainCause,
-        Verdict,
+        EvalBudget, FringeMode, MonteCarloEvaluator, PipelineMetrics, ProbabilityEvaluator,
+        PrqError, PrqExecutor, PrqOutcome, PrqQuery, Quadrature2dEvaluator,
+        QuasiMonteCarloEvaluator, QueryStats, ResilientExecutor, ResilientOutcome, RrCatalog,
+        SequentialMonteCarloEvaluator, SharedSamplesEvaluator, StrategySet, TerminalStrategy,
+        ThetaRegion, UncertainCause, Verdict,
     };
     pub use gprq_gaussian::Gaussian;
     pub use gprq_linalg::{Matrix, Vector};

@@ -252,7 +252,9 @@ fn parallel_integrator_matches_executor_answers() {
             .unwrap(),
     );
     let candidates: Vec<Vector<2>> = tree.iter().map(|(p, _)| *p).collect();
-    let flags = ParallelIntegrator::new(100_000, 31, 4).qualify(&query, &candidates);
+    let flags = ParallelIntegrator::new(100_000, 31, 4)
+        .unwrap()
+        .qualify(&query, &candidates);
     let mut par_ids: Vec<usize> = tree
         .iter()
         .enumerate()
