@@ -2,13 +2,13 @@
 //! paper's whole contribution exists to avoid paying per candidate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gprq_gaussian::integrate::{
-    importance_sampling_probability, quadrature_probability_2d, SharedSampleEvaluator,
-};
+use gprq_gaussian::cloud::{CloudGrid, SampleCloud};
+use gprq_gaussian::integrate::{importance_sampling_probability, quadrature_probability_2d};
 use gprq_gaussian::Gaussian;
 use gprq_linalg::{Matrix, Vector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::num::NonZeroUsize;
 
 fn gaussian2() -> Gaussian<2> {
     let s3 = 3.0f64.sqrt();
@@ -54,10 +54,15 @@ fn bench_importance_sampling(c: &mut Criterion) {
 fn bench_shared_samples(c: &mut Criterion) {
     let g = gaussian2();
     let mut rng = StdRng::seed_from_u64(2);
-    let eval = SharedSampleEvaluator::new(&g, 100_000, &mut rng);
+    let budget = NonZeroUsize::new(100_000).expect("nonzero");
+    let cloud = SampleCloud::draw(&g, budget, &mut rng);
+    let grid = CloudGrid::build(&cloud);
     let target = Vector::from([515.0, 508.0]);
-    c.bench_function("integrate/shared_batch_probe_100k", |b| {
-        b.iter(|| eval.probability(black_box(&target), 25.0))
+    c.bench_function("integrate/shared_cloud_linear_probe_100k", |b| {
+        b.iter(|| cloud.probability(black_box(&target), 25.0))
+    });
+    c.bench_function("integrate/shared_cloud_grid_probe_100k", |b| {
+        b.iter(|| grid.probability(black_box(&target), 25.0))
     });
 }
 

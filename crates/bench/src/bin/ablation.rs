@@ -21,8 +21,8 @@
 
 use gprq_bench::{corel_tree, road_tree, Args};
 use gprq_core::{
-    BfBounds, BfCatalog, FringeMode, MonteCarloEvaluator, PrqExecutor, PrqQuery, RrCatalog,
-    SharedSamplesEvaluator, StrategySet, ThetaRegion,
+    BfBounds, BfCatalog, FringeMode, PrqExecutor, PrqQuery, RrCatalog, SharedSamplesEvaluator,
+    StrategySet, ThetaRegion,
 };
 use gprq_gaussian::integrate::{
     importance_sampling_probability, quadrature_probability_2d, uniform_ball_probability,
@@ -101,6 +101,7 @@ fn main() {
         for r in 0..reps {
             let mut rng = StdRng::seed_from_u64(seed + r);
             is_err += (importance_sampling_probability(&g2, &target, 25.0, budget, &mut rng)
+                .unwrap_or(0.0)
                 - oracle)
                 .abs();
             ub_err +=
@@ -122,7 +123,8 @@ fn main() {
     let target9 = Vector::<9>::from_fn(|i| if i == 0 { 1.0 } else { 0.2 });
     // High-budget IS as the 9-D reference.
     let mut rng = StdRng::seed_from_u64(seed);
-    let ref9 = importance_sampling_probability(&g9, &target9, 2.0, 4_000_000, &mut rng);
+    let ref9 =
+        importance_sampling_probability(&g9, &target9, 2.0, 4_000_000, &mut rng).unwrap_or(0.0);
     println!("\n9-D target probability (4M-sample reference): {ref9:.5}");
     println!(
         "{:>9} | {:>12} | {:>12}",
@@ -134,6 +136,7 @@ fn main() {
         for r in 0..reps {
             let mut rng = StdRng::seed_from_u64(seed + 100 + r);
             is_err += (importance_sampling_probability(&g9, &target9, 2.0, budget, &mut rng)
+                .unwrap_or(0.0)
                 - ref9)
                 .abs();
             ub_err += (uniform_ball_probability(&g9, &target9, 2.0, budget, &mut rng) - ref9).abs();
@@ -147,7 +150,25 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("\n=== Ablation 3: fresh vs shared samples (Phase 3 time) ===");
-    for (label, shared) in [("fresh/object", false), ("shared batch", true)] {
+    // `MonteCarloEvaluator` *is* the shared-cloud engine now, so the
+    // fresh-per-object baseline lives here, in the ablation, as a local
+    // evaluator that redraws its batch for every candidate.
+    struct FreshPerObject {
+        samples: usize,
+        rng: StdRng,
+    }
+    impl gprq_core::ProbabilityEvaluator<2> for FreshPerObject {
+        fn probability(&mut self, g: &Gaussian<2>, center: &Vector<2>, delta: f64) -> f64 {
+            importance_sampling_probability(g, center, delta, self.samples, &mut self.rng)
+                .unwrap_or(0.0)
+        }
+    }
+    for shared in [false, true] {
+        let label = if shared {
+            "shared cloud"
+        } else {
+            "fresh/object"
+        };
         let t = Instant::now();
         let stats = if shared {
             let mut eval = SharedSamplesEvaluator::<2>::new(100_000, seed);
@@ -156,7 +177,10 @@ fn main() {
                 .unwrap()
                 .stats
         } else {
-            let mut eval = MonteCarloEvaluator::new(100_000, seed);
+            let mut eval = FreshPerObject {
+                samples: 100_000,
+                rng: StdRng::seed_from_u64(seed),
+            };
             PrqExecutor::new(StrategySet::ALL)
                 .execute(&tree, &query, &mut eval)
                 .unwrap()
@@ -227,6 +251,7 @@ fn main() {
         for r in 0..reps {
             let mut rng = StdRng::seed_from_u64(seed + 300 + r);
             is_err += (importance_sampling_probability(&g2, &target, 25.0, budget, &mut rng)
+                .unwrap_or(0.0)
                 - oracle)
                 .abs();
         }

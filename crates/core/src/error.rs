@@ -95,6 +95,12 @@ impl From<LinalgError> for PrqError {
     }
 }
 
+impl From<gprq_gaussian::InvalidSampleBudget> for PrqError {
+    fn from(_: gprq_gaussian::InvalidSampleBudget) -> Self {
+        PrqError::InvalidSampleBudget
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +120,12 @@ mod tests {
         assert!(PrqError::InvalidSampleBudget
             .to_string()
             .contains("positive"));
+    }
+
+    #[test]
+    fn wraps_gaussian_budget_errors() {
+        let e: PrqError = gprq_gaussian::InvalidSampleBudget.into();
+        assert_eq!(e, PrqError::InvalidSampleBudget);
     }
 
     #[test]

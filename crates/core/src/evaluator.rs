@@ -1,23 +1,31 @@
 //! Phase-3 qualification-probability evaluators.
 //!
 //! The executor is generic over *how* `Pr(‖x − o‖ ≤ δ)` is computed so the
-//! experiment harness can swap the paper's importance-sampling Monte Carlo
-//! for the shared-sample optimization or the deterministic 2-D oracle.
+//! experiment harness can swap the shared-sample default for the paper's
+//! per-candidate importance sampling or the deterministic 2-D oracle.
+//!
+//! The default engine is the shared-sample cloud from
+//! [`gprq_gaussian::cloud`]: the proposal distribution `N(q, Σ)` never
+//! depends on the candidate (§V-A), so one sample batch per query answers
+//! every candidate. Sharing samples correlates the *errors* across
+//! candidates of one query — each per-candidate estimate stays unbiased
+//! with unchanged variance — which is why the `mc_conformance` closed-form
+//! oracle, not bit-parity with the old per-candidate path, gates
+//! correctness.
 
 use crate::resilience::Verdict;
-use gprq_gaussian::integrate::{
-    importance_sampling_probability, quadrature_probability_2d, SharedSampleEvaluator,
-    StreamingProbability, PAPER_MC_SAMPLES,
-};
+use gprq_gaussian::cloud::{CloudGrid, CloudStats, SampleCloud};
+use gprq_gaussian::integrate::{quadrature_probability_2d, RunningEstimate, PAPER_MC_SAMPLES};
 use gprq_gaussian::Gaussian;
 use gprq_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Computes qualification probabilities for Phase 3.
 ///
-/// Implementations may be stateful (RNG streams, cached sample batches);
+/// Implementations may be stateful (RNG streams, cached sample clouds);
 /// the executor calls [`ProbabilityEvaluator::begin_query`] once per query
 /// so caches can be (re)built for the query's distribution.
 pub trait ProbabilityEvaluator<const D: usize> {
@@ -26,17 +34,49 @@ pub trait ProbabilityEvaluator<const D: usize> {
 
     /// Estimates `Pr(‖x − center‖ ≤ delta)` for `x ~ gaussian`.
     fn probability(&mut self, gaussian: &Gaussian<D>, center: &Vector<D>, delta: f64) -> f64;
+
+    /// Drains the accumulated shared-cloud statistics (grid builds, cells
+    /// scanned/inside, samples distance-tested), resetting them to zero.
+    /// Evaluators without a cloud return the zero default.
+    fn take_cloud_stats(&mut self) -> CloudStats {
+        CloudStats::default()
+    }
 }
 
-/// The paper's evaluator: fresh importance-sampling Monte Carlo per
-/// object (§V-A, 100 000 samples each).
+/// Sample budgets are validated at construction; this conversion is for
+/// the type system, with a defensive floor of one sample.
+fn nonzero(samples: usize) -> NonZeroUsize {
+    NonZeroUsize::new(samples).unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Draws the query's shared sample cloud and indexes it — the single
+/// construction path for every shared-sample evaluator, so the draw
+/// order and grid build stay in sync in one place.
+fn build_grid<const D: usize>(
+    gaussian: &Gaussian<D>,
+    samples: usize,
+    rng: &mut StdRng,
+) -> CloudGrid<D> {
+    CloudGrid::build(&SampleCloud::draw(gaussian, nonzero(samples), rng))
+}
+
+/// The default Phase-3 evaluator: one shared, grid-indexed sample cloud
+/// per query (see [`gprq_gaussian::cloud`]).
+///
+/// [`ProbabilityEvaluator::begin_query`] rebuilds the cloud for the new
+/// query distribution. Without it the cloud is built lazily on the first
+/// `probability` call and *reused* until the next `begin_query`, so
+/// direct use across different distributions must call `begin_query`
+/// between them.
 #[derive(Debug, Clone)]
-pub struct MonteCarloEvaluator {
+pub struct MonteCarloEvaluator<const D: usize> {
     samples: usize,
     rng: StdRng,
+    grid: Option<CloudGrid<D>>,
+    stats: CloudStats,
 }
 
-impl MonteCarloEvaluator {
+impl<const D: usize> MonteCarloEvaluator<D> {
     /// Creates an evaluator with an explicit sample count and seed.
     ///
     /// # Panics
@@ -47,71 +87,49 @@ impl MonteCarloEvaluator {
         MonteCarloEvaluator {
             samples,
             rng: StdRng::seed_from_u64(seed),
+            grid: None,
+            stats: CloudStats::default(),
         }
     }
 
-    /// The paper's configuration: 100 000 samples per integration.
+    /// The paper's configuration: 100 000 samples per query cloud.
     pub fn paper_default(seed: u64) -> Self {
         Self::new(PAPER_MC_SAMPLES, seed)
     }
 
-    /// Number of samples per integration.
+    /// Number of samples in the per-query cloud.
     pub fn samples(&self) -> usize {
         self.samples
     }
 }
 
-impl<const D: usize> ProbabilityEvaluator<D> for MonteCarloEvaluator {
-    fn probability(&mut self, gaussian: &Gaussian<D>, center: &Vector<D>, delta: f64) -> f64 {
-        importance_sampling_probability(gaussian, center, delta, self.samples, &mut self.rng)
-    }
-}
-
-/// Shared-sample evaluator: one batch of samples per query, reused across
-/// all candidates (an optimization the paper leaves on the table because
-/// the proposal distribution is candidate-independent; measured in the
-/// `ablation` bench).
-#[derive(Debug, Clone)]
-pub struct SharedSamplesEvaluator<const D: usize> {
-    samples: usize,
-    rng: StdRng,
-    batch: Option<SharedSampleEvaluator<D>>,
-}
-
-impl<const D: usize> SharedSamplesEvaluator<D> {
-    /// Creates an evaluator; the batch is drawn lazily per query.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples == 0`.
-    pub fn new(samples: usize, seed: u64) -> Self {
-        assert!(samples > 0);
-        SharedSamplesEvaluator {
-            samples,
-            rng: StdRng::seed_from_u64(seed),
-            batch: None,
-        }
-    }
-}
-
-impl<const D: usize> ProbabilityEvaluator<D> for SharedSamplesEvaluator<D> {
+impl<const D: usize> ProbabilityEvaluator<D> for MonteCarloEvaluator<D> {
     fn begin_query(&mut self, gaussian: &Gaussian<D>) {
-        self.batch = Some(SharedSampleEvaluator::new(
-            gaussian,
-            self.samples,
-            &mut self.rng,
-        ));
+        self.stats.builds += 1;
+        self.grid = Some(build_grid(gaussian, self.samples, &mut self.rng));
     }
 
     fn probability(&mut self, gaussian: &Gaussian<D>, center: &Vector<D>, delta: f64) -> f64 {
-        // Direct use without begin_query: build the batch now.
+        // Direct use without begin_query: build the cloud now.
         let samples = self.samples;
         let rng = &mut self.rng;
-        self.batch
-            .get_or_insert_with(|| SharedSampleEvaluator::new(gaussian, samples, rng))
-            .probability(center, delta)
+        let builds = &mut self.stats.builds;
+        let grid = self.grid.get_or_insert_with(|| {
+            *builds += 1;
+            build_grid(gaussian, samples, rng)
+        });
+        grid.probability_with_stats(center, delta, &mut self.stats)
+    }
+
+    fn take_cloud_stats(&mut self) -> CloudStats {
+        std::mem::take(&mut self.stats)
     }
 }
+
+/// Former name of the shared-sample evaluator. The shared-cloud design is
+/// the default now, so the separate type is gone; the alias keeps old
+/// call sites compiling. Prefer [`MonteCarloEvaluator`] in new code.
+pub type SharedSamplesEvaluator<const D: usize> = MonteCarloEvaluator<D>;
 
 /// Deterministic quasi-Monte-Carlo evaluator (Halton sequence warped to
 /// the query Gaussian).
@@ -233,12 +251,18 @@ pub trait BudgetedEvaluator<const D: usize> {
         theta: f64,
         max_samples: usize,
     ) -> Result<EvalReport, EvalFailure>;
+
+    /// Drains the accumulated shared-cloud statistics, resetting them to
+    /// zero. Evaluators without a cloud return the zero default.
+    fn take_cloud_stats(&mut self) -> CloudStats {
+        CloudStats::default()
+    }
 }
 
-/// Sequential importance-sampling Monte Carlo with Wilson-interval early
-/// termination: draws blocks of samples and stops as soon as the
-/// confidence interval for the running estimate lies entirely on one
-/// side of `θ`.
+/// Sequential Monte Carlo with Wilson-interval early termination over the
+/// query's shared sample cloud: hit counts accumulate over *prefixes* of
+/// the cloud in blocks, and evaluation stops as soon as the confidence
+/// interval for the running estimate lies entirely on one side of `θ`.
 ///
 /// Most candidates are far from the threshold, so a few hundred samples
 /// decide them instead of the paper's fixed 100 000 — the `resilience`
@@ -246,15 +270,23 @@ pub trait BudgetedEvaluator<const D: usize> {
 /// baseline), the full budget is always spent and the interval is
 /// checked once at the end, so the *verdicts* are comparable and only
 /// the sample counts differ.
+///
+/// The cloud grows lazily: a candidate that terminates after 512 samples
+/// never forces the remaining 99 488 to be drawn, and a later candidate
+/// that needs more reuses the existing prefix bitwise (see
+/// `SampleCloud::extend`). As with [`MonteCarloEvaluator`], call
+/// [`BudgetedEvaluator::begin_query`] between distributions.
 #[derive(Debug, Clone)]
-pub struct SequentialMonteCarloEvaluator {
+pub struct SequentialMonteCarloEvaluator<const D: usize> {
     block: usize,
     z: f64,
     rng: StdRng,
     early_termination: bool,
+    cloud: Option<SampleCloud<D>>,
+    stats: CloudStats,
 }
 
-impl SequentialMonteCarloEvaluator {
+impl<const D: usize> SequentialMonteCarloEvaluator<D> {
     /// Default block size between interval checks.
     pub const DEFAULT_BLOCK: usize = 512;
     /// Default confidence width: ±3σ two-sided (≈ 99.7 %).
@@ -274,6 +306,8 @@ impl SequentialMonteCarloEvaluator {
             z,
             rng: StdRng::seed_from_u64(seed),
             early_termination: true,
+            cloud: None,
+            stats: CloudStats::default(),
         }
     }
 
@@ -295,7 +329,11 @@ impl SequentialMonteCarloEvaluator {
     }
 }
 
-impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator {
+impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator<D> {
+    fn begin_query(&mut self, _gaussian: &Gaussian<D>) {
+        self.cloud = None;
+    }
+
     fn evaluate(
         &mut self,
         gaussian: &Gaussian<D>,
@@ -307,14 +345,28 @@ impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator {
         if max_samples == 0 {
             return Err(EvalFailure::NoBudget);
         }
-        let mut stream = StreamingProbability::new(gaussian, center, delta);
+        let block = self.block;
+        let rng = &mut self.rng;
+        if self.cloud.is_none() {
+            self.stats.builds += 1;
+        }
+        let cloud = self.cloud.get_or_insert_with(|| {
+            SampleCloud::draw(gaussian, nonzero(block.min(max_samples)), rng)
+        });
+        let mut est = RunningEstimate::default();
         loop {
-            let drawn = stream.running().n;
-            let remaining = max_samples - drawn;
+            let remaining = max_samples - est.n;
             if remaining == 0 {
                 break;
             }
-            let est = stream.refine(&mut self.rng, self.block.min(remaining));
+            let take = block.min(remaining);
+            let need = est.n + take;
+            if cloud.len() < need {
+                cloud.extend(gaussian, need - cloud.len(), rng);
+            }
+            est.hits += cloud.count_in_range(center, delta, est.n, need);
+            est.n = need;
+            self.stats.samples_tested += take;
             if self.early_termination {
                 let (lo, hi) = est.wilson_bounds(self.z);
                 if lo >= theta {
@@ -337,7 +389,6 @@ impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator {
         }
         // Budget exhausted: check the interval once (for the baseline
         // mode this is the only check) and label honestly.
-        let est = stream.running();
         let (lo, hi) = est.wilson_bounds(self.z);
         let verdict = if lo >= theta {
             Verdict::Accept
@@ -352,6 +403,10 @@ impl<const D: usize> BudgetedEvaluator<D> for SequentialMonteCarloEvaluator {
             verdict,
             early: false,
         })
+    }
+
+    fn take_cloud_stats(&mut self) -> CloudStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -398,6 +453,10 @@ impl<const D: usize, E: ProbabilityEvaluator<D>> BudgetedEvaluator<D> for Determ
             },
             early: false,
         })
+    }
+
+    fn take_cloud_stats(&mut self) -> CloudStats {
+        self.inner.take_cloud_stats()
     }
 }
 
@@ -455,6 +514,22 @@ mod tests {
     }
 
     #[test]
+    fn cloud_stats_count_builds_and_drain() {
+        let g = gaussian();
+        let mut mc = MonteCarloEvaluator::<2>::new(10_000, 5);
+        ProbabilityEvaluator::<2>::begin_query(&mut mc, &g);
+        let _ = mc.probability(&g, g.mean(), 10.0);
+        ProbabilityEvaluator::<2>::begin_query(&mut mc, &g);
+        let _ = mc.probability(&g, g.mean(), 10.0);
+        let stats = ProbabilityEvaluator::<2>::take_cloud_stats(&mut mc);
+        assert_eq!(stats.builds, 2, "one build per begin_query");
+        assert!(stats.cells_scanned > 0);
+        // Drained: a second take returns zeros.
+        let again = ProbabilityEvaluator::<2>::take_cloud_stats(&mut mc);
+        assert_eq!(again, CloudStats::default());
+    }
+
+    #[test]
     fn qmc_evaluator_matches_oracle_and_is_deterministic() {
         let g = gaussian();
         let center = Vector::from([15.0, 8.0]);
@@ -469,7 +544,7 @@ mod tests {
 
     #[test]
     fn paper_default_sample_count() {
-        let mc = MonteCarloEvaluator::paper_default(1);
+        let mc = MonteCarloEvaluator::<2>::paper_default(1);
         assert_eq!(mc.samples(), 100_000);
     }
 
@@ -520,6 +595,24 @@ mod tests {
         assert_eq!(r.samples, 4_096);
         assert!(!r.early);
         assert!((r.estimate - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn sequential_mc_shares_the_cloud_prefix_across_candidates() {
+        // Two evaluations of the *same* candidate on one evaluator reuse
+        // the same cloud prefix, so with early termination off and equal
+        // budgets the estimates are bitwise identical.
+        let g = gaussian();
+        let mut eval =
+            SequentialMonteCarloEvaluator::with_defaults(31).with_early_termination(false);
+        let a =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, g.mean(), 20.0, 0.5, 8_192).unwrap();
+        let b =
+            BudgetedEvaluator::<2>::evaluate(&mut eval, &g, g.mean(), 20.0, 0.5, 8_192).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        let stats = BudgetedEvaluator::<2>::take_cloud_stats(&mut eval);
+        assert_eq!(stats.builds, 1, "one cloud serves both candidates");
+        assert_eq!(stats.samples_tested, 2 * 8_192);
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct QueryStats {
     ///
     /// [`Verdict::Uncertain`]: crate::resilience::Verdict::Uncertain
     pub uncertain: usize,
+    /// Shared sample clouds built for Phase 3 (normally one per query
+    /// on the cloud path; zero for deterministic evaluators).
+    pub cloud_builds: usize,
+    /// Grid cells visited while answering cloud probabilities.
+    pub cloud_cells_scanned: usize,
+    /// Visited cells classified fully inside `B(center, δ)` — their
+    /// samples counted without a distance test.
+    pub cloud_cells_inside: usize,
+    /// Cloud samples that ran the SoA distance kernel (boundary cells).
+    pub cloud_samples_tested: usize,
     /// Phase-1 wall-clock time.
     pub phase1_time: Duration,
     /// Phase-2 wall-clock time.
@@ -99,9 +109,25 @@ impl QueryStats {
         self.phase3_samples += other.phase3_samples;
         self.early_terminations += other.early_terminations;
         self.uncertain += other.uncertain;
+        self.cloud_builds += other.cloud_builds;
+        self.cloud_cells_scanned += other.cloud_cells_scanned;
+        self.cloud_cells_inside += other.cloud_cells_inside;
+        self.cloud_samples_tested += other.cloud_samples_tested;
         self.phase1_time += other.phase1_time;
         self.phase2_time += other.phase2_time;
         self.phase3_time += other.phase3_time;
+    }
+
+    /// Absorbs a drained [`CloudStats`] block into the cloud fields —
+    /// the single bridge between the evaluator-side statistics and the
+    /// per-query record.
+    ///
+    /// [`CloudStats`]: gprq_gaussian::cloud::CloudStats
+    pub fn absorb_cloud(&mut self, cloud: &gprq_gaussian::cloud::CloudStats) {
+        self.cloud_builds += cloud.builds;
+        self.cloud_cells_scanned += cloud.cells_scanned;
+        self.cloud_cells_inside += cloud.cells_inside;
+        self.cloud_samples_tested += cloud.samples_tested;
     }
 }
 
@@ -279,6 +305,7 @@ impl<'c> PrqExecutor<'c> {
             }
         }
         stats.phase3_time = t2.elapsed();
+        stats.absorb_cloud(&evaluator.take_cloud_stats());
         stats.answers = answers.len();
         if let Some(span) = span3 {
             span.finish();

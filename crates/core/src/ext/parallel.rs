@@ -1,32 +1,62 @@
 //! Parallel Phase-3 integration.
 //!
-//! The per-candidate Monte-Carlo integrations are independent, so Phase 3
-//! — the ≥97 %-of-runtime phase — parallelizes embarrassingly. Each
-//! candidate gets a **deterministic per-object RNG stream** derived from
-//! the base seed and its index, so the result is bit-identical regardless
-//! of thread count (and identical to the sequential run).
+//! Phase 3 — the ≥97 %-of-runtime phase — parallelizes embarrassingly.
+//! The default [`Phase3Mode::SharedCloud`] engine draws **one** sample
+//! cloud per query from the base seed (the proposal distribution never
+//! depends on the candidate, §V-A), indexes it with a
+//! [`CloudGrid`], and partitions
+//! *candidates* — not samples — across workers. Every worker reads the
+//! same immutable grid, so results are bit-identical across thread
+//! counts by construction.
+//!
+//! [`Phase3Mode::PerCandidate`] keeps the paper-faithful baseline: a
+//! fresh importance-sampling batch per candidate, with a deterministic
+//! per-object RNG stream derived from the base seed and the candidate
+//! index. The two modes legitimately differ bitwise (different sample
+//! streams); both are gated against the closed-form `mc_conformance`
+//! oracle, and the `phase3` bench records their wall-clock gap.
+//!
+//! Estimator caveat: the shared cloud correlates errors *across*
+//! candidates of one query. Each per-candidate estimate is still
+//! unbiased with unchanged variance (see `gprq_gaussian::cloud`).
 
 use crate::error::PrqError;
 use crate::metrics::PipelineMetrics;
 use crate::query::PrqQuery;
+use gprq_gaussian::cloud::{CloudGrid, CloudStats, SampleCloud};
 use gprq_gaussian::integrate::importance_sampling_probability;
 use gprq_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::num::NonZeroUsize;
+
+/// How the integrator spends its per-object sample budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase3Mode {
+    /// One shared, grid-indexed sample cloud per query; candidates are
+    /// partitioned across workers. The default.
+    SharedCloud,
+    /// The paper's baseline: a fresh per-candidate sample batch from a
+    /// per-object RNG stream. Kept for the `phase3` bench comparison and
+    /// for workloads that require independent per-candidate errors.
+    PerCandidate,
+}
 
 /// Configuration for parallel qualification evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelIntegrator {
-    /// Monte-Carlo samples per object.
+    /// Monte-Carlo samples per object (`PerCandidate`) or in the shared
+    /// per-query cloud (`SharedCloud`).
     pub samples: usize,
-    /// Base RNG seed; object `i` uses a stream derived from it.
+    /// Base RNG seed; the cloud (or object `i`'s stream) derives from it.
     pub seed: u64,
     /// Worker threads (`0` = number of available CPUs).
     pub threads: usize,
+    mode: Phase3Mode,
 }
 
 impl ParallelIntegrator {
-    /// Creates an integrator.
+    /// Creates an integrator in the default [`Phase3Mode::SharedCloud`].
     ///
     /// # Errors
     ///
@@ -40,7 +70,19 @@ impl ParallelIntegrator {
             samples,
             seed,
             threads,
+            mode: Phase3Mode::SharedCloud,
         })
+    }
+
+    /// Selects the Phase-3 engine (see [`Phase3Mode`]).
+    pub fn with_mode(mut self, mode: Phase3Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured Phase-3 engine.
+    pub fn mode(&self) -> Phase3Mode {
+        self.mode
     }
 
     fn worker_count(&self) -> usize {
@@ -94,14 +136,86 @@ impl ParallelIntegrator {
         candidates: &[Vector<D>],
         metrics: Option<&PipelineMetrics>,
     ) -> Vec<f64> {
-        let n = candidates.len();
-        let mut out = vec![0.0f64; n];
-        if n == 0 {
-            return out;
+        if candidates.is_empty() {
+            return Vec::new();
         }
         if let Some(m) = metrics {
-            m.record_parallel_objects(n);
+            m.record_parallel_objects(candidates.len());
         }
+        match self.mode {
+            Phase3Mode::SharedCloud => self.run_shared_cloud(query, candidates, metrics),
+            Phase3Mode::PerCandidate => self.run_per_candidate(query, candidates, metrics),
+        }
+    }
+
+    fn run_shared_cloud<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+        metrics: Option<&PipelineMetrics>,
+    ) -> Vec<f64> {
+        let n = candidates.len();
+        let mut out = vec![0.0f64; n];
+        // `new` rejects samples == 0, so the floor never engages.
+        let budget = NonZeroUsize::new(self.samples).unwrap_or(NonZeroUsize::MIN);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cloud = SampleCloud::draw(query.gaussian(), budget, &mut rng);
+        let grid = CloudGrid::build(&cloud);
+        let workers = self.worker_count().min(n);
+        let chunk = n.div_ceil(workers);
+        let mut worker_stats = vec![CloudStats::default(); workers];
+        std::thread::scope(|scope| {
+            for ((w, out_chunk), local) in out
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(worker_stats.iter_mut())
+            {
+                let start = w * chunk;
+                let grid = &grid;
+                scope.spawn(move || {
+                    // INVARIANT: the cloud is drawn once from the base
+                    // seed before the fan-out, and *candidates* — never
+                    // samples — are partitioned, so every worker layout
+                    // reads the same immutable grid and probabilities are
+                    // bit-identical across thread counts.
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = grid.probability_with_stats(
+                            &candidates[start + offset],
+                            query.delta(),
+                            local,
+                        );
+                    }
+                    // One histogram write per worker, after its loop. In
+                    // this mode "worker samples" means distance-tested
+                    // samples; the total is layout-independent (a sum
+                    // over candidates), only the split varies.
+                    if let Some(m) = metrics {
+                        m.record_worker_samples(local.samples_tested);
+                    }
+                });
+            }
+        });
+        if let Some(m) = metrics {
+            let mut total = CloudStats {
+                builds: 1,
+                ..CloudStats::default()
+            };
+            for s in &worker_stats {
+                total.merge(s);
+            }
+            m.record_cloud(&total);
+        }
+        out
+    }
+
+    fn run_per_candidate<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[Vector<D>],
+        metrics: Option<&PipelineMetrics>,
+    ) -> Vec<f64> {
+        let n = candidates.len();
+        let mut out = vec![0.0f64; n];
         let workers = self.worker_count().min(n);
         let chunk = n.div_ceil(workers);
         // std scoped threads (Rust ≥ 1.63) propagate worker panics on
@@ -117,13 +231,16 @@ impl ParallelIntegrator {
                         // count or ambient entropy — so answer sets are
                         // bit-identical across runs and worker layouts.
                         let mut rng = StdRng::seed_from_u64(self.object_seed(i));
+                        // `new` rejects samples == 0, so the budget error
+                        // cannot occur; 0.0 is the defensive fallback.
                         *slot = importance_sampling_probability(
                             query.gaussian(),
                             &candidates[i],
                             query.delta(),
                             self.samples,
                             &mut rng,
-                        );
+                        )
+                        .unwrap_or(0.0);
                     }
                     // One histogram write per worker, after its loop: the
                     // sample *total* is layout-independent (Σ = n·samples),
@@ -180,20 +297,28 @@ mod tests {
     }
 
     #[test]
+    fn defaults_to_shared_cloud() {
+        let int = ParallelIntegrator::new(100, 1, 1).unwrap();
+        assert_eq!(int.mode(), Phase3Mode::SharedCloud);
+        let baseline = int.with_mode(Phase3Mode::PerCandidate);
+        assert_eq!(baseline.mode(), Phase3Mode::PerCandidate);
+    }
+
+    #[test]
     fn thread_count_does_not_change_results() {
         let q = query();
         let cands = candidates(64);
-        let p1 = ParallelIntegrator::new(5_000, 7, 1)
-            .unwrap()
-            .probabilities(&q, &cands);
-        let p4 = ParallelIntegrator::new(5_000, 7, 4)
-            .unwrap()
-            .probabilities(&q, &cands);
-        let p7 = ParallelIntegrator::new(5_000, 7, 7)
-            .unwrap()
-            .probabilities(&q, &cands);
-        assert_eq!(p1, p4);
-        assert_eq!(p1, p7);
+        for mode in [Phase3Mode::SharedCloud, Phase3Mode::PerCandidate] {
+            let run = |threads| {
+                ParallelIntegrator::new(5_000, 7, threads)
+                    .unwrap()
+                    .with_mode(mode)
+                    .probabilities(&q, &cands)
+            };
+            let p1 = run(1);
+            assert_eq!(p1, run(4), "{mode:?}");
+            assert_eq!(p1, run(7), "{mode:?}");
+        }
     }
 
     #[test]
@@ -221,38 +346,81 @@ mod tests {
     #[test]
     fn parity_across_thread_counts_probabilities_and_metric_counters() {
         use crate::metrics::{names, PipelineMetrics};
-        // The determinism guarantee extended to observability: every
-        // worker layout must report bit-identical probabilities AND
-        // identical metric *counter* values — only the span-duration and
-        // per-worker histograms may legitimately differ.
+        // The determinism guarantee extended to observability: for each
+        // mode, every worker layout must report bit-identical
+        // probabilities AND identical metric *counter* values — only the
+        // span-duration and per-worker histograms may legitimately
+        // differ. The cloud counters are sums over candidates, so they
+        // are layout-independent too.
         type NamedCounters = Vec<(&'static str, u64)>;
         let q = query();
         let cands = candidates(64);
-        let mut reference: Option<(Vec<f64>, NamedCounters)> = None;
-        for threads in [1usize, 2, 4, 0] {
-            let metrics = PipelineMetrics::new();
-            let probs = ParallelIntegrator::new(5_000, 42, threads)
-                .unwrap()
-                .probabilities_with_metrics(&q, &cands, &metrics);
-            let counters = metrics.snapshot().counters();
-            match &reference {
-                None => reference = Some((probs, counters)),
-                Some((p0, c0)) => {
-                    assert_eq!(&probs, p0, "threads = {threads}: probabilities drifted");
-                    assert_eq!(&counters, c0, "threads = {threads}: counters drifted");
+        for mode in [Phase3Mode::SharedCloud, Phase3Mode::PerCandidate] {
+            let mut reference: Option<(Vec<f64>, NamedCounters)> = None;
+            for threads in [1usize, 2, 4, 0] {
+                let metrics = PipelineMetrics::new();
+                let probs = ParallelIntegrator::new(5_000, 42, threads)
+                    .unwrap()
+                    .with_mode(mode)
+                    .probabilities_with_metrics(&q, &cands, &metrics);
+                let counters = metrics.snapshot().counters();
+                match &reference {
+                    None => reference = Some((probs, counters)),
+                    Some((p0, c0)) => {
+                        assert_eq!(
+                            &probs, p0,
+                            "{mode:?}, threads = {threads}: probabilities drifted"
+                        );
+                        assert_eq!(
+                            &counters, c0,
+                            "{mode:?}, threads = {threads}: counters drifted"
+                        );
+                    }
+                }
+            }
+            let (_, counters) = reference.unwrap();
+            let find = |name: &str| {
+                counters
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert_eq!(find(names::PARALLEL_OBJECTS), 64);
+            match mode {
+                Phase3Mode::PerCandidate => {
+                    assert_eq!(find(names::PARALLEL_SAMPLES), 64 * 5_000);
+                    assert_eq!(find(names::CLOUD_BUILDS), 0);
+                }
+                Phase3Mode::SharedCloud => {
+                    assert_eq!(find(names::CLOUD_BUILDS), 1);
+                    // Distance-tested samples = PARALLEL_SAMPLES in this
+                    // mode, and the grid must save work vs. 64 full scans.
+                    assert_eq!(
+                        find(names::PARALLEL_SAMPLES),
+                        find(names::CLOUD_SAMPLES_TESTED)
+                    );
+                    assert!(find(names::CLOUD_SAMPLES_TESTED) < 64 * 5_000);
+                    assert!(find(names::CLOUD_CELLS_SCANNED) > 0);
                 }
             }
         }
-        let (_, counters) = reference.unwrap();
-        let find = |name: &str| {
-            counters
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|(_, v)| *v)
-                .unwrap()
-        };
-        assert_eq!(find(names::PARALLEL_OBJECTS), 64);
-        assert_eq!(find(names::PARALLEL_SAMPLES), 64 * 5_000);
+    }
+
+    #[test]
+    fn shared_cloud_agrees_with_per_candidate_within_mc_error() {
+        let q = query();
+        let cands = candidates(16);
+        let shared = ParallelIntegrator::new(100_000, 11, 2)
+            .unwrap()
+            .probabilities(&q, &cands);
+        let baseline = ParallelIntegrator::new(100_000, 11, 2)
+            .unwrap()
+            .with_mode(Phase3Mode::PerCandidate)
+            .probabilities(&q, &cands);
+        for (s, b) in shared.iter().zip(&baseline) {
+            assert!((s - b).abs() < 0.01, "shared {s} vs per-candidate {b}");
+        }
     }
 
     #[test]
@@ -260,11 +428,15 @@ mod tests {
         use crate::metrics::PipelineMetrics;
         let q = query();
         let cands = candidates(16);
-        let integrator = ParallelIntegrator::new(2_000, 9, 3).unwrap();
-        let plain = integrator.probabilities(&q, &cands);
-        let metrics = PipelineMetrics::new();
-        let metered = integrator.probabilities_with_metrics(&q, &cands, &metrics);
-        assert_eq!(plain, metered);
+        for mode in [Phase3Mode::SharedCloud, Phase3Mode::PerCandidate] {
+            let integrator = ParallelIntegrator::new(2_000, 9, 3)
+                .unwrap()
+                .with_mode(mode);
+            let plain = integrator.probabilities(&q, &cands);
+            let metrics = PipelineMetrics::new();
+            let metered = integrator.probabilities_with_metrics(&q, &cands, &metrics);
+            assert_eq!(plain, metered, "{mode:?}");
+        }
     }
 
     #[test]
@@ -272,13 +444,16 @@ mod tests {
         use crate::evaluator::{ProbabilityEvaluator, Quadrature2dEvaluator};
         let q = query();
         let cands = candidates(16);
-        let probs = ParallelIntegrator::new(100_000, 3, 0)
-            .unwrap()
-            .probabilities(&q, &cands);
         let mut oracle = Quadrature2dEvaluator::default();
-        for (c, p) in cands.iter().zip(&probs) {
-            let truth = oracle.probability(q.gaussian(), c, q.delta());
-            assert!((p - truth).abs() < 0.01, "{p} vs {truth}");
+        for mode in [Phase3Mode::SharedCloud, Phase3Mode::PerCandidate] {
+            let probs = ParallelIntegrator::new(100_000, 3, 0)
+                .unwrap()
+                .with_mode(mode)
+                .probabilities(&q, &cands);
+            for (c, p) in cands.iter().zip(&probs) {
+                let truth = oracle.probability(q.gaussian(), c, q.delta());
+                assert!((p - truth).abs() < 0.01, "{mode:?}: {p} vs {truth}");
+            }
         }
     }
 

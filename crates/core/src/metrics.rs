@@ -82,6 +82,16 @@ pub mod names {
     pub const PARALLEL_SAMPLES: &str = "prq_parallel_samples_total";
     /// Histogram: samples drawn per parallel worker (layout-dependent).
     pub const PARALLEL_WORKER_SAMPLES: &str = "prq_parallel_worker_samples";
+    /// Counter: shared sample clouds built (one per query on the cloud path).
+    pub const CLOUD_BUILDS: &str = "prq_cloud_builds_total";
+    /// Counter: grid cells visited while answering cloud probabilities.
+    pub const CLOUD_CELLS_SCANNED: &str = "prq_cloud_cells_scanned_total";
+    /// Counter: visited cells classified fully-inside `B(center, δ)` —
+    /// their samples counted without any distance test.
+    pub const CLOUD_CELLS_INSIDE: &str = "prq_cloud_cells_inside_total";
+    /// Counter: cloud samples that ran the SoA distance kernel (boundary
+    /// cells only; compare against `prq_phase3_samples_total`).
+    pub const CLOUD_SAMPLES_TESTED: &str = "prq_cloud_samples_tested_total";
 }
 
 /// The paper's three query-processing phases, used to label spans.
@@ -133,6 +143,10 @@ pub struct PipelineMetrics {
     parallel_objects: Arc<Counter>,
     parallel_samples: Arc<Counter>,
     worker_samples: Arc<Histogram>,
+    cloud_builds: Arc<Counter>,
+    cloud_cells_scanned: Arc<Counter>,
+    cloud_cells_inside: Arc<Counter>,
+    cloud_samples_tested: Arc<Counter>,
 }
 
 impl Default for PipelineMetrics {
@@ -177,6 +191,10 @@ impl PipelineMetrics {
             parallel_objects: registry.counter(names::PARALLEL_OBJECTS),
             parallel_samples: registry.counter(names::PARALLEL_SAMPLES),
             worker_samples: registry.histogram(names::PARALLEL_WORKER_SAMPLES),
+            cloud_builds: registry.counter(names::CLOUD_BUILDS),
+            cloud_cells_scanned: registry.counter(names::CLOUD_CELLS_SCANNED),
+            cloud_cells_inside: registry.counter(names::CLOUD_CELLS_INSIDE),
+            cloud_samples_tested: registry.counter(names::CLOUD_SAMPLES_TESTED),
             registry,
             clock,
         }
@@ -224,6 +242,22 @@ impl PipelineMetrics {
             .add(as_u64(stats.early_terminations));
         self.uncertain.add(as_u64(stats.uncertain));
         self.phase3_samples.add(as_u64(stats.phase3_samples));
+        self.cloud_builds.add(as_u64(stats.cloud_builds));
+        self.cloud_cells_scanned
+            .add(as_u64(stats.cloud_cells_scanned));
+        self.cloud_cells_inside
+            .add(as_u64(stats.cloud_cells_inside));
+        self.cloud_samples_tested
+            .add(as_u64(stats.cloud_samples_tested));
+    }
+
+    /// Flushes a shared-cloud statistics block (used by the parallel
+    /// integrator, which records directly rather than via `QueryStats`).
+    pub fn record_cloud(&self, stats: &gprq_gaussian::cloud::CloudStats) {
+        self.cloud_builds.add(as_u64(stats.builds));
+        self.cloud_cells_scanned.add(as_u64(stats.cells_scanned));
+        self.cloud_cells_inside.add(as_u64(stats.cells_inside));
+        self.cloud_samples_tested.add(as_u64(stats.samples_tested));
     }
 
     /// Records the sample count one budgeted Phase-3 integration drew.
@@ -284,6 +318,10 @@ mod tests {
             phase3_samples: 1_500,
             early_terminations: 1,
             uncertain: 1,
+            cloud_builds: 1,
+            cloud_cells_scanned: 40,
+            cloud_cells_inside: 25,
+            cloud_samples_tested: 900,
             ..QueryStats::default()
         };
         m.record_query(&stats);
@@ -296,6 +334,28 @@ mod tests {
         assert_eq!(snap.counter(names::PHASE2_OR_ROTATIONS), Some(14));
         assert_eq!(snap.counter(names::PHASE3_SAMPLES), Some(3_000));
         assert_eq!(snap.counter(names::PHASE3_EARLY_TERMINATIONS), Some(2));
+        assert_eq!(snap.counter(names::CLOUD_BUILDS), Some(2));
+        assert_eq!(snap.counter(names::CLOUD_CELLS_SCANNED), Some(80));
+        assert_eq!(snap.counter(names::CLOUD_CELLS_INSIDE), Some(50));
+        assert_eq!(snap.counter(names::CLOUD_SAMPLES_TESTED), Some(1_800));
+    }
+
+    #[test]
+    fn cloud_recording() {
+        let m = PipelineMetrics::new();
+        let stats = gprq_gaussian::cloud::CloudStats {
+            builds: 1,
+            cells_scanned: 12,
+            cells_inside: 7,
+            samples_tested: 320,
+        };
+        m.record_cloud(&stats);
+        m.record_cloud(&stats);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::CLOUD_BUILDS), Some(2));
+        assert_eq!(snap.counter(names::CLOUD_CELLS_SCANNED), Some(24));
+        assert_eq!(snap.counter(names::CLOUD_CELLS_INSIDE), Some(14));
+        assert_eq!(snap.counter(names::CLOUD_SAMPLES_TESTED), Some(640));
     }
 
     #[test]

@@ -974,6 +974,7 @@ impl<'c> ResilientExecutor<'c> {
             });
         }
         stats.phase3_time = t2.elapsed();
+        stats.absorb_cloud(&evaluator.take_cloud_stats());
         if let Some(span) = span3 {
             span.finish();
         }

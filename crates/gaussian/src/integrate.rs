@@ -9,10 +9,11 @@
 //! * [`importance_sampling_probability`] — the paper's method (§V-A):
 //!   draw `x ~ N(q, Σ)` and count the fraction landing in the ball.
 //!   Converges quickly because the proposal *is* the measure.
-//! * [`SharedSampleEvaluator`] — an optimization the paper does not apply:
-//!   since the proposal does not depend on the target object, one batch of
-//!   samples can be reused across every candidate of a query. Exposed for
-//!   the ablation benches.
+//! * the [`crate::cloud`] module — an optimization the paper does not
+//!   apply: since the proposal does not depend on the target object, one
+//!   batch of samples ([`crate::cloud::SampleCloud`]) can be reused
+//!   across every candidate of a query and pruned spatially
+//!   ([`crate::cloud::CloudGrid`]). This is the default Phase-3 path.
 //! * [`uniform_ball_probability`] — the "standard Monte Carlo method" the
 //!   paper contrasts against: sample uniformly in the ball, average the
 //!   density, multiply by ball volume. Degrades in higher dimensions.
@@ -27,21 +28,37 @@ use crate::sampler::{sample_uniform_ball, GaussianSampler, StandardNormal};
 use crate::specfun::{ball_volume, std_normal_cdf};
 use gprq_linalg::Vector;
 use rand::Rng;
+use std::fmt;
 
 /// Number of Monte-Carlo samples the paper uses per integration (§V-A:
 /// "for each numerical integration, 100,000 random numbers were
 /// generated").
 pub const PAPER_MC_SAMPLES: usize = 100_000;
 
+/// A Monte-Carlo sample budget of zero was requested: no estimator can
+/// produce a probability from zero draws, and silently returning `0.0`
+/// would masquerade as a confident rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSampleBudget;
+
+impl fmt::Display for InvalidSampleBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Monte-Carlo sample budget must be positive")
+    }
+}
+
+impl std::error::Error for InvalidSampleBudget {}
+
 /// Estimates `Pr(‖x − center‖ ≤ delta)` for `x ~ gaussian` by importance
 /// sampling from the Gaussian itself — the paper's integrator.
 ///
 /// The estimate is the fraction of `n_samples` draws that land inside the
-/// ball; its standard error is `√(p(1−p)/n)`.
+/// ball; its standard error is `√(p(1−p)/n)`. Debug-asserts `delta ≥ 0`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n_samples == 0`; debug-asserts `delta ≥ 0`.
+/// [`InvalidSampleBudget`] if `n_samples == 0` — a zero-draw estimate
+/// would be an unfounded hard rejection.
 // HOT-PATH: importance-sampling integration loop (Phase 3, paper §V-A)
 pub fn importance_sampling_probability<const D: usize, R: Rng + ?Sized>(
     gaussian: &Gaussian<D>,
@@ -49,8 +66,10 @@ pub fn importance_sampling_probability<const D: usize, R: Rng + ?Sized>(
     delta: f64,
     n_samples: usize,
     rng: &mut R,
-) -> f64 {
-    assert!(n_samples > 0, "need at least one sample");
+) -> Result<f64, InvalidSampleBudget> {
+    if n_samples == 0 {
+        return Err(InvalidSampleBudget);
+    }
     debug_assert!(delta >= 0.0);
     let delta_sq = delta * delta;
     let mut sampler = GaussianSampler::new(gaussian);
@@ -61,60 +80,7 @@ pub fn importance_sampling_probability<const D: usize, R: Rng + ?Sized>(
             hits += 1;
         }
     }
-    hits as f64 / n_samples as f64
-}
-
-/// Evaluates qualification probabilities for many target objects against
-/// one query Gaussian, reusing a single batch of samples.
-///
-/// Drawing samples is the bulk of the integration cost, and the proposal
-/// distribution `N(q, Σ)` is identical for every candidate of a query —
-/// so a query that must integrate hundreds of candidates (Tables I–III)
-/// can amortize one batch across all of them. The estimates become
-/// positively correlated across candidates but each remains unbiased with
-/// the same per-object variance.
-#[derive(Debug, Clone)]
-pub struct SharedSampleEvaluator<const D: usize> {
-    samples: Vec<Vector<D>>,
-}
-
-impl<const D: usize> SharedSampleEvaluator<D> {
-    /// Draws `n_samples` from `gaussian` once.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_samples == 0`.
-    pub fn new<R: Rng + ?Sized>(gaussian: &Gaussian<D>, n_samples: usize, rng: &mut R) -> Self {
-        assert!(n_samples > 0, "need at least one sample");
-        let mut sampler = GaussianSampler::new(gaussian);
-        let mut samples = vec![Vector::<D>::ZERO; n_samples];
-        sampler.sample_batch(rng, &mut samples);
-        SharedSampleEvaluator { samples }
-    }
-
-    /// Number of stored samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// `true` if no samples are stored (cannot happen via [`Self::new`]).
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Estimates `Pr(‖x − center‖ ≤ delta)` from the stored batch.
-    // HOT-PATH: shared-sample qualification estimate (Phase 3 inner loop)
-    pub fn probability(&self, center: &Vector<D>, delta: f64) -> f64 {
-        debug_assert!(delta >= 0.0);
-        let delta_sq = delta * delta;
-        let mut hits = 0usize;
-        for x in &self.samples {
-            if x.distance_squared(center) <= delta_sq {
-                hits += 1;
-            }
-        }
-        hits as f64 / self.samples.len() as f64
-    }
+    Ok(hits as f64 / n_samples as f64)
 }
 
 /// A running Monte-Carlo proportion estimate: `hits` successes out of
@@ -439,7 +405,8 @@ mod tests {
             let center = *g.mean() + Vector::from(offset);
             let delta = 25.0;
             let exact = quadrature_probability_2d(&g, &center, delta, 64, 128);
-            let mc = importance_sampling_probability(&g, &center, delta, 200_000, &mut rng);
+            let mc =
+                importance_sampling_probability(&g, &center, delta, 200_000, &mut rng).unwrap();
             // Standard error at p≈0.5, n=200k is ~0.0011; allow 5σ.
             assert!(
                 (mc - exact).abs() < 0.006,
@@ -518,34 +485,12 @@ mod tests {
     }
 
     #[test]
-    fn shared_sample_evaluator_consistent_with_fresh_sampling() {
-        let g = Gaussian::new(Vector::from([100.0, 100.0]), sigma_paper(10.0)).unwrap();
-        let mut rng = StdRng::seed_from_u64(4242);
-        let eval = SharedSampleEvaluator::new(&g, 200_000, &mut rng);
-        assert_eq!(eval.len(), 200_000);
-        assert!(!eval.is_empty());
-        let center = Vector::from([110.0, 95.0]);
-        let delta = 25.0;
-        let exact = quadrature_probability_2d(&g, &center, delta, 64, 128);
-        let shared = eval.probability(&center, delta);
-        assert!(
-            (shared - exact).abs() < 0.006,
-            "shared {shared} vs exact {exact}"
-        );
-    }
-
-    #[test]
-    fn shared_samples_monotone_in_delta() {
+    fn zero_sample_budget_is_an_error() {
         let g = Gaussian::<2>::standard();
-        let mut rng = StdRng::seed_from_u64(8);
-        let eval = SharedSampleEvaluator::new(&g, 50_000, &mut rng);
-        let center = Vector::from([0.5, 0.5]);
-        let mut prev = 0.0;
-        for delta in [0.1, 0.5, 1.0, 2.0, 4.0] {
-            let p = eval.probability(&center, delta);
-            assert!(p >= prev);
-            prev = p;
-        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = importance_sampling_probability(&g, &Vector::ZERO, 1.0, 0, &mut rng).unwrap_err();
+        assert_eq!(err, InvalidSampleBudget);
+        assert!(err.to_string().contains("positive"));
     }
 
     #[test]
@@ -565,7 +510,8 @@ mod tests {
     fn analytic_1d_matches_mc() {
         let g = Gaussian::new(Vector::from([3.0]), Matrix::from_rows([[4.0]])).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
-        let mc = importance_sampling_probability(&g, &Vector::from([4.0]), 1.5, 200_000, &mut rng);
+        let mc = importance_sampling_probability(&g, &Vector::from([4.0]), 1.5, 200_000, &mut rng)
+            .unwrap();
         let exact = analytic_interval_probability_1d(3.0, 2.0, 4.0, 1.5);
         assert!((mc - exact).abs() < 0.006, "mc {mc} vs exact {exact}");
     }
@@ -580,7 +526,7 @@ mod tests {
         );
         assert_eq!(quadrature_probability_2d(&g, &Vector::ZERO, 0.0, 8, 8), 0.0);
         assert_eq!(
-            importance_sampling_probability(&g, &Vector::ZERO, 0.0, 10, &mut rng),
+            importance_sampling_probability(&g, &Vector::ZERO, 0.0, 10, &mut rng).unwrap(),
             0.0
         );
     }

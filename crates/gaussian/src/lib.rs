@@ -20,7 +20,11 @@
 //! * [`integrate`] — the qualification-probability integrators: the
 //!   paper's importance-sampling Monte Carlo, a uniform-ball Monte Carlo
 //!   comparator, a 2-D Gauss–Legendre quadrature reference, and the
-//!   analytic 1-D case.
+//!   analytic 1-D case;
+//! * [`cloud`] — the shared-sample Phase-3 engine: one SoA sample batch
+//!   per query ([`SampleCloud`]) plus a uniform-grid index
+//!   ([`CloudGrid`]) so each candidate's hit count only touches samples
+//!   near it. This is the default integration path in `gprq-core`.
 //!
 //! ```
 //! use gprq_gaussian::chi;
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chi;
+pub mod cloud;
 pub mod integrate;
 pub mod mvn;
 pub mod noncentral;
@@ -41,9 +46,10 @@ pub mod sampler;
 pub mod specfun;
 
 pub use chi::{chi_ball_probability, chi_inverse, chi_squared_cdf};
+pub use cloud::{CloudGrid, CloudStats, SampleCloud};
 pub use integrate::{
     analytic_interval_probability_1d, importance_sampling_probability, quadrature_probability_2d,
-    uniform_ball_probability, RunningEstimate, SharedSampleEvaluator, StreamingProbability,
+    uniform_ball_probability, InvalidSampleBudget, RunningEstimate, StreamingProbability,
 };
 pub use mvn::Gaussian;
 pub use noncentral::{

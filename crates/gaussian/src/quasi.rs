@@ -192,7 +192,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let reference = crate::integrate::importance_sampling_probability(
             &g, &center, 2.0, 1_000_000, &mut rng,
-        );
+        )
+        .unwrap();
         let qmc = quasi_monte_carlo_probability(&g, &center, 2.0, 50_000);
         assert!(
             (qmc - reference).abs() < 0.01,

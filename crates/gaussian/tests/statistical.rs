@@ -119,7 +119,7 @@ fn importance_sampling_is_unbiased() {
     let mut mean = 0.0;
     for r in 0..reps {
         let mut rng = StdRng::seed_from_u64(1000 + r);
-        mean += importance_sampling_probability(&g, &center, delta, n, &mut rng);
+        mean += importance_sampling_probability(&g, &center, delta, n, &mut rng).unwrap();
     }
     mean /= reps as f64;
     // se of the mean ≈ √(p(1−p)/(n·reps)) ≈ 0.0007; allow 5σ.
@@ -140,7 +140,8 @@ fn monte_carlo_error_shrinks_with_sqrt_n() {
         let mut acc = 0.0;
         for r in 0..reps {
             let mut rng = StdRng::seed_from_u64(base + r);
-            let e = importance_sampling_probability(&g, &center, delta, n, &mut rng) - oracle;
+            let e =
+                importance_sampling_probability(&g, &center, delta, n, &mut rng).unwrap() - oracle;
             acc += e * e;
         }
         (acc / reps as f64).sqrt()
@@ -166,7 +167,8 @@ fn estimator_rmse_9d(
     let (mut is_sq, mut ub_sq) = (0.0, 0.0);
     for r in 0..reps {
         let mut rng = StdRng::seed_from_u64(100 + r);
-        let e1 = importance_sampling_probability(g, center, delta, n, &mut rng) - reference;
+        let e1 =
+            importance_sampling_probability(g, center, delta, n, &mut rng).unwrap() - reference;
         let e2 = uniform_ball_probability(g, center, delta, n, &mut rng) - reference;
         is_sq += e1 * e1;
         ub_sq += e2 * e2;
@@ -192,7 +194,8 @@ fn uniform_ball_estimator_is_consistent_but_noisier_in_9d() {
     let center = Vector::<9>::splat(0.5);
     let delta = 4.0;
     let mut rng = StdRng::seed_from_u64(5);
-    let reference = importance_sampling_probability(&g, &center, delta, 2_000_000, &mut rng);
+    let reference =
+        importance_sampling_probability(&g, &center, delta, 2_000_000, &mut rng).unwrap();
     assert!(
         reference > 0.5,
         "setup check: high-mass ball, got {reference}"
@@ -207,7 +210,8 @@ fn uniform_ball_estimator_is_consistent_but_noisier_in_9d() {
     let center = Vector::<9>::splat(0.5);
     let delta = 1.2;
     let mut rng = StdRng::seed_from_u64(6);
-    let reference = importance_sampling_probability(&g, &center, delta, 2_000_000, &mut rng);
+    let reference =
+        importance_sampling_probability(&g, &center, delta, 2_000_000, &mut rng).unwrap();
     assert!(reference < 0.01, "setup check: tail ball, got {reference}");
     let (is_rmse, ub_rmse) = estimator_rmse_9d(&g, &center, delta, reference);
     assert!(

@@ -70,7 +70,7 @@ pub use gprq_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use gprq_core::ext::parallel::ParallelIntegrator;
+    pub use gprq_core::ext::parallel::{ParallelIntegrator, Phase3Mode};
     pub use gprq_core::ext::pnn::{probabilistic_knn, PnnResult};
     pub use gprq_core::ext::session::{MonitoringSession, StepOutcome};
     pub use gprq_core::ext::uncertain::{
@@ -84,6 +84,7 @@ pub mod prelude {
         SequentialMonteCarloEvaluator, SharedSamplesEvaluator, StrategySet, TerminalStrategy,
         ThetaRegion, UncertainCause, Verdict,
     };
+    pub use gprq_gaussian::cloud::{CloudGrid, SampleCloud};
     pub use gprq_gaussian::Gaussian;
     pub use gprq_linalg::{Matrix, Vector};
     pub use gprq_rtree::{RStarParams, RTree, Rect};
