@@ -66,6 +66,9 @@ impl MockClock {
 
     /// Advances the clock by `nanos` (saturating).
     pub fn advance(&self, nanos: u64) {
+        // ORDERING: Relaxed — the mock time word is self-contained;
+        // tests drive it from one thread and nothing is published
+        // under it.
         let _ = self
             .now
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
@@ -75,12 +78,15 @@ impl MockClock {
 
     /// Moves the clock to `nanos` if that is not in the past.
     pub fn set(&self, nanos: u64) {
+        // ORDERING: Relaxed — monotone max of a standalone word; no
+        // ordering contract with other memory.
         self.now.fetch_max(nanos, Ordering::Relaxed);
     }
 }
 
 impl Clock for MockClock {
     fn now_nanos(&self) -> u64 {
+        // ORDERING: Relaxed — reading the standalone mock time word.
         self.now.load(Ordering::Relaxed)
     }
 }

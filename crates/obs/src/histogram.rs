@@ -72,6 +72,8 @@ impl Histogram {
         }
         saturating_add(&self.count, 1);
         saturating_add(&self.sum, value);
+        // ORDERING: Relaxed — the max is a commutative statistic; the
+        // RMW needs atomicity against other recorders, not ordering.
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -97,22 +99,31 @@ impl Histogram {
 
     /// Total observations recorded.
     pub fn count(&self) -> u64 {
+        // ORDERING: Relaxed — a statistical snapshot; a reader racing a
+        // recorder may see count ahead of a bucket, which the consumers
+        // (summaries, quantiles) already treat conservatively.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Saturating sum of all recorded values.
     pub fn sum(&self) -> u64 {
+        // ORDERING: Relaxed — same statistical-snapshot contract as
+        // `count`.
         self.sum.load(Ordering::Relaxed)
     }
 
     /// Largest value recorded (0 when empty).
     pub fn max_value(&self) -> u64 {
+        // ORDERING: Relaxed — same statistical-snapshot contract as
+        // `count`.
         self.max.load(Ordering::Relaxed)
     }
 
     /// A copy of the per-bucket counts, index-aligned with
     /// [`Histogram::bucket_upper_bound`].
     pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        // ORDERING: Relaxed — same statistical-snapshot contract as the
+        // scalar accessors above.
         std::array::from_fn(|i| match self.buckets.get(i) {
             Some(b) => b.load(Ordering::Relaxed),
             None => 0,
@@ -130,6 +141,9 @@ impl Histogram {
         let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cumulative = 0u64;
+        // ORDERING: Relaxed bucket reads — a racing recorder can skew
+        // the estimate by one observation; the fallthrough below keeps
+        // the answer conservative.
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative = cumulative.saturating_add(bucket.load(Ordering::Relaxed));
             if cumulative >= target {
@@ -145,6 +159,9 @@ impl Histogram {
     /// Merging is associative and commutative up to saturation, so
     /// per-worker histograms can be folded in any order.
     pub fn merge(&self, other: &Histogram) {
+        // ORDERING: Relaxed throughout — merging folds statistical
+        // tallies; workers are expected to be quiescent, and a racing
+        // recorder only shifts an observation between fold rounds.
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
             saturating_add(mine, theirs.load(Ordering::Relaxed));
         }

@@ -11,6 +11,9 @@ pub(crate) fn saturating_add(cell: &AtomicU64, n: u64) {
     if n == 0 {
         return;
     }
+    // ORDERING: Relaxed on both the RMW and the failure re-read —
+    // counters are statistical instruments; no other memory is
+    // published under this update, so no happens-before edge is needed.
     let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
         Some(cur.saturating_add(n))
     });
@@ -46,6 +49,8 @@ impl Counter {
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — readers want a recent tally, not a
+        // synchronized snapshot; nothing is read on the strength of it.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -70,16 +75,22 @@ impl Gauge {
 
     /// Overwrites the value.
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — the gauge records a standalone fact; no
+        // payload is published under it, so no release edge is needed.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Raises the value to `v` if `v` is larger (high-water mark).
     pub fn record_max(&self, v: u64) {
+        // ORDERING: Relaxed — the max is commutative and standalone;
+        // contending writers need atomicity, not ordering.
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — same as `Counter::get`: a recent value,
+        // never a synchronization point.
         self.value.load(Ordering::Relaxed)
     }
 }

@@ -35,6 +35,7 @@
 mod bulk;
 pub mod grid;
 pub mod node;
+pub mod olc;
 pub mod params;
 pub mod query;
 pub mod rect;
@@ -43,6 +44,7 @@ pub mod tree;
 
 pub use grid::UniformGrid;
 pub use node::LeafEntry;
+pub use olc::VersionCell;
 pub use params::RStarParams;
 pub use query::{KnnScratch, SearchStats};
 pub use rect::Rect;

@@ -1,0 +1,210 @@
+//! Optimistic lock coupling (OLC) primitive: the seqlock version word.
+//!
+//! ROADMAP item #1 turns the single-writer R\*-tree into a shared index
+//! where thousands of readers traverse nodes without taking locks. The
+//! building block is a per-node *version word* with seqlock semantics
+//! (after the classic sequence-lock protocol):
+//!
+//! * the version is **even** when the node is unlocked and **odd**
+//!   while a writer holds the node;
+//! * a reader snapshots the version ([`VersionCell::optimistic_read`]),
+//!   reads the payload it protects, then re-checks the version
+//!   ([`ReadGuard::validate`]). An unchanged even version proves no
+//!   writer overlapped the read — the snapshot is consistent. Any
+//!   change (or an odd snapshot) means the read may be torn and must be
+//!   retried or escalated;
+//! * a writer acquires the node with one CAS from even `v` to odd
+//!   `v + 1` ([`VersionCell::write_lock`]) and releases it by bumping
+//!   to the even `v + 2` ([`WriteGuard::drop`]) — every write advances
+//!   the version by exactly 2, so a reader's snapshot can never be
+//!   revalidated across a writer (no ABA: the version is a `u64` and
+//!   never decreases).
+//!
+//! The protocol is exhaustively model-checked under the vendored loom
+//! shim (`tests/olc_model.rs`, feature `model-check`: every schedule of
+//! reader/writer races is explored and no torn read survives
+//! validation) and stress-checked under real concurrency — including
+//! the ThreadSanitizer CI lane — in `tests/olc_props.rs`.
+
+// Under `model-check` the atomics come from the vendored loom shim, so
+// every access becomes a scheduling point for the interleaving
+// explorer; in normal builds they are plain `std` atomics with
+// identical signatures.
+#[cfg(feature = "model-check")]
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(feature = "model-check"))]
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// A seqlock version word: even = unlocked, odd = write-locked.
+///
+/// The cell stores only the version; the payload it protects lives
+/// alongside it in the owning structure (for the OLC tree: the node's
+/// bounding rectangles and child pointers). `VersionCell` is `Send` and
+/// `Sync` automatically — it contains a single atomic and no interior
+/// references — so no manual `unsafe impl` is needed (and the
+/// `send-sync-audit` rule would flag one).
+#[derive(Debug)]
+pub struct VersionCell {
+    word: AtomicU64,
+}
+
+impl VersionCell {
+    /// A new cell, unlocked at version 0.
+    #[must_use]
+    pub const fn new() -> Self {
+        VersionCell {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// The current raw version (even = unlocked, odd = write-locked).
+    ///
+    /// Acquire so that payload reads issued after this load observe at
+    /// least the writes of the writer that published this version.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Whether a writer currently holds the cell.
+    #[must_use]
+    pub fn is_write_locked(&self) -> bool {
+        self.version() & 1 == 1
+    }
+
+    /// Begins an optimistic read: snapshots the version, returning
+    /// `None` if a writer currently holds the cell (odd version).
+    ///
+    /// The caller reads the protected payload, then calls
+    /// [`ReadGuard::validate`]; only a `true` result makes the payload
+    /// snapshot trustworthy.
+    // HOT-PATH: every OLC tree descent starts with an optimistic read
+    // of the node version; this must stay allocation- and lock-free.
+    #[must_use]
+    pub fn optimistic_read(&self) -> Option<ReadGuard<'_>> {
+        let v = self.word.load(Ordering::Acquire);
+        if v & 1 == 1 {
+            return None;
+        }
+        Some(ReadGuard {
+            cell: self,
+            version: v,
+        })
+    }
+
+    /// Attempts to acquire the write lock without blocking. Returns
+    /// `None` when another writer holds the cell or the CAS races.
+    ///
+    /// The returned guard releases the lock on drop, leaving the
+    /// version exactly 2 above the pre-lock value.
+    #[must_use]
+    pub fn write_lock(&self) -> Option<WriteGuard<'_>> {
+        // ORDERING: Relaxed screen load — the CAS below is the
+        // linearization point and re-checks the value; this load only
+        // avoids a doomed CAS when the cell is visibly locked.
+        let v = self.word.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return None;
+        }
+        // ORDERING: Acquire on success pairs with the Release bump in
+        // `WriteGuard::drop`, so this writer observes the previous
+        // writer's payload writes. Relaxed on failure — a failed CAS
+        // acquires nothing and the caller just retries or backs off.
+        match self
+            .word
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+        {
+            Ok(_) => Some(WriteGuard { cell: self }),
+            Err(_) => None,
+        }
+    }
+
+    /// Runs `read` until a validated (un-torn) snapshot is obtained,
+    /// retrying at most `max_retries` times. Returns `None` when every
+    /// attempt raced with a writer — callers escalate (for the OLC
+    /// tree: restart the descent or fall back to a shared lock).
+    ///
+    /// `read` must be side-effect-free: it may run multiple times and
+    /// its intermediate results are discarded on validation failure.
+    pub fn read_consistent<T>(&self, max_retries: usize, mut read: impl FnMut() -> T) -> Option<T> {
+        for _ in 0..=max_retries {
+            let Some(guard) = self.optimistic_read() else {
+                continue;
+            };
+            let value = read();
+            if guard.validate() {
+                return Some(value);
+            }
+        }
+        None
+    }
+}
+
+impl Default for VersionCell {
+    fn default() -> Self {
+        VersionCell::new()
+    }
+}
+
+/// An optimistic read in progress: the version snapshot taken by
+/// [`VersionCell::optimistic_read`].
+///
+/// Holding a `ReadGuard` blocks nothing and reserves nothing — it is a
+/// copied version number. Writers proceed regardless; `validate`
+/// detects them after the fact.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadGuard<'a> {
+    cell: &'a VersionCell,
+    version: u64,
+}
+
+impl ReadGuard<'_> {
+    /// The snapshotted version (always even).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Re-checks the version: `true` iff no writer acquired the cell
+    /// since the snapshot, i.e. every payload read between
+    /// `optimistic_read` and this call saw a consistent state.
+    #[must_use]
+    pub fn validate(&self) -> bool {
+        // ORDERING: the Acquire fence orders the caller's payload reads
+        // *before* the re-read below — without it the version re-read
+        // could be satisfied early and miss a writer that overlapped
+        // the payload reads. The load itself can then be Relaxed: the
+        // fence already provides the barrier, and we only compare the
+        // value against the snapshot.
+        fence(Ordering::Acquire);
+        self.cell.word.load(Ordering::Relaxed) == self.version
+    }
+}
+
+/// An acquired write lock; releasing is bumping the version to the next
+/// even value on drop.
+#[derive(Debug)]
+pub struct WriteGuard<'a> {
+    cell: &'a VersionCell,
+}
+
+impl WriteGuard<'_> {
+    /// The version while locked (always odd).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        // ORDERING: Relaxed — only this writer can change the word
+        // while the lock is held, so there is nothing to synchronize
+        // with; the value is stable until our own release.
+        self.cell.word.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        // ORDERING: Release publishes the payload writes made under the
+        // lock before the new (even) version becomes visible — pairs
+        // with the Acquire loads in `optimistic_read`/`version` and the
+        // Acquire fence in `validate`.
+        self.cell.word.fetch_add(1, Ordering::Release);
+    }
+}

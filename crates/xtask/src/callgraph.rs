@@ -63,6 +63,15 @@ const ALLOC_TYPES: [&str; 7] = [
 /// Allocation-site macros.
 const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
 
+/// Blocking-acquisition method names (`x.lock()` / `x.read()` /
+/// `x.write()`). `read`/`write` over-approximate into `io::Read`/
+/// `io::Write` — intentionally: blocking I/O on a hot path is as bad as
+/// a lock, and a genuine false positive is an allowlist entry away.
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Lock-type qualifiers for path-call shapes (`Mutex::lock(&m)`).
+const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
+
 /// Panic-family macros checked by the reachability rule. `debug_assert*`
 /// is exempt: compiled out of release builds.
 const PANIC_MACROS: [&str; 7] = [
@@ -292,6 +301,51 @@ impl Analysis {
         }
     }
 
+    /// `hot-path-lock`: no blocking lock acquisition transitively
+    /// reachable from a `// HOT-PATH:` root. The whole point of the OLC
+    /// seqlock (`gprq_rtree::olc`) is that tree descents synchronize
+    /// through version validation instead of blocking; a `Mutex`/`RwLock`
+    /// acquired under a hot root reintroduces writer-stalls-readers.
+    /// Dangling markers are already reported by `check_hot_path_alloc`,
+    /// so this rule only walks the reachable set.
+    pub fn check_hot_path_lock(&self, sources: &Sources, out: &mut Vec<Violation>) {
+        let roots: Vec<usize> = self
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.hot_marker.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let pred = self.reach(&roots);
+        for (i, f) in self.fns.iter().enumerate() {
+            if pred[i].is_none() {
+                continue;
+            }
+            for call in &f.calls {
+                let Some(desc) = lock_site(call) else {
+                    continue;
+                };
+                let mut chain = self.chain(&pred, i);
+                chain.push(format!("<{desc}>"));
+                out.push(Violation {
+                    rule: "hot-path-lock",
+                    path: f.path.clone(),
+                    line: call.line,
+                    snippet: sources.line(&f.path, call.line),
+                    message: format!(
+                        "blocking acquisition `{desc}` reachable from hot root \
+                         `{}` — hot paths must stay lock-free (optimistic \
+                         validation via `VersionCell`, or hoist the lock out of \
+                         the per-candidate loop)",
+                        chain.first().cloned().unwrap_or_default()
+                    ),
+                    severity: Severity::Error,
+                    chain,
+                });
+            }
+        }
+    }
+
     /// `panic-reachability`: no panic-family site transitively reachable
     /// from a public entry point of the graph crates. Sites inside a
     /// function whose doc block declares `# Panics` are exempt — the
@@ -392,6 +446,29 @@ fn alloc_site(f: &FnInfo, call: &Call) -> Option<String> {
                 .qual
                 .as_deref()
                 .is_some_and(|q| ALLOC_TYPES.contains(&q)) =>
+        {
+            Some(format!(
+                "{}::{}",
+                call.qual.as_deref().unwrap_or(""),
+                call.name
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Describes `call` as a blocking lock acquisition, if it is one.
+fn lock_site(call: &Call) -> Option<String> {
+    match call.kind {
+        CallKind::Method if LOCK_METHODS.contains(&call.name.as_str()) => {
+            Some(format!(".{}()", call.name))
+        }
+        CallKind::Path
+            if call
+                .qual
+                .as_deref()
+                .is_some_and(|q| LOCK_TYPES.contains(&q))
+                && LOCK_METHODS.contains(&call.name.as_str()) =>
         {
             Some(format!(
                 "{}::{}",
@@ -631,6 +708,54 @@ mod tests {
         assert!(names.contains(&"PrqError::OnlyMatched"), "{out:#?}");
         assert!(names.contains(&"PrqError::Dead"), "{out:#?}");
         assert!(!names.contains(&"PrqError::Used"), "{out:#?}");
+    }
+
+    #[test]
+    fn lock_two_calls_below_a_hot_root_is_found_with_chain() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: per-candidate predicate\n\
+             pub fn passes(x: f64) -> bool { helper(x) }\n\
+             fn helper(x: f64) -> bool { deep(x) }\n\
+             fn deep(_x: f64) -> bool { self.stats.lock().hit(); true }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_lock(&s, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "hot-path-lock");
+        assert_eq!(out[0].line, 4);
+        assert_eq!(out[0].chain, vec!["passes", "helper", "deep", "<.lock()>"]);
+    }
+
+    #[test]
+    fn lock_outside_the_hot_reachable_set_is_not_flagged() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: descent\n\
+             pub fn descend(x: f64) -> f64 { x + 1.0 }\n\
+             pub fn cold_setup(reg: &Registry) { reg.inner.lock().clear(); }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_lock(&s, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_and_path_shapes_are_lock_sites() {
+        let (a, s) = analyze(&[(
+            HOT_CALLER,
+            "// HOT-PATH: scorer\n\
+             pub fn score(s: &Shared) -> f64 { *s.table.read() + peek(s) }\n\
+             fn peek(s: &Shared) -> f64 { *RwLock::write(&s.table) }\n",
+        )]);
+        let mut out = Vec::new();
+        a.check_hot_path_lock(&s, &mut out);
+        let descs: Vec<&str> = out
+            .iter()
+            .filter_map(|v| v.chain.last().map(String::as_str))
+            .collect();
+        assert!(descs.contains(&"<.read()>"), "{out:#?}");
+        assert!(descs.contains(&"<RwLock::write>"), "{out:#?}");
     }
 
     #[test]

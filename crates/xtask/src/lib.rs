@@ -20,6 +20,10 @@
 //! | `panic-reachability`| no panic-family site transitively reachable from a public entry point, unless the containing fn documents `# Panics` (call graph) |
 //! | `lossy-cast`        | no `as` cast to a narrower integer type in `linalg`/`gaussian`/`core` |
 //! | `error-docs`        | public `Result`-returning fns document `# Errors`; every `PrqError` variant is constructed outside tests |
+//! | `unsafe-safety-comment` | every `unsafe` block/fn/impl/trait carries a `// SAFETY:` comment; the full inventory is snapshotted into `audit-markers.txt` |
+//! | `send-sync-audit`   | manual `unsafe impl Send`/`Sync` is an error unless allowlisted with the audit argument |
+//! | `atomic-ordering`   | atomic ops name an explicit `Ordering` at the call site, `Relaxed` carries an `// ORDERING:` comment, `static mut` is banned |
+//! | `hot-path-lock`     | no blocking `Mutex`/`RwLock` acquisition transitively reachable from a `// HOT-PATH:` root (call graph) |
 //!
 //! Run locally with `cargo xtask audit`; see DESIGN.md §"Invariants &
 //! static analysis" for the allowlist policy, the `// HOT-PATH:` marker
@@ -72,6 +76,15 @@ pub fn audit_source(
     if rule_set.error_docs {
         rules::check_error_docs(rel_path, source, &analysis, violations);
     }
+    if rule_set.unsafe_safety {
+        rules::check_unsafe_safety(rel_path, source, &analysis, violations);
+    }
+    if rule_set.send_sync {
+        rules::check_send_sync(rel_path, source, &analysis, violations);
+    }
+    if rule_set.atomic_ordering {
+        rules::check_atomic_ordering(rel_path, source, &toks, violations);
+    }
     if is_crate_root {
         rules::check_crate_root(rel_path, source, violations);
     }
@@ -97,6 +110,7 @@ pub fn run_graph_checks(
 ) -> Analysis {
     let analysis = Analysis::build(files);
     analysis.check_hot_path_alloc(sources, violations);
+    analysis.check_hot_path_lock(sources, violations);
     analysis.check_panic_reachability(sources, violations);
     analysis.check_error_variants_constructed(violations);
     analysis
@@ -107,6 +121,7 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
     let files = workspace::rust_files(root).map_err(|e| format!("walking workspace: {e}"))?;
     let mut violations = Vec::new();
     let mut invariants = Vec::new();
+    let mut unsafe_sites = Vec::new();
     let mut parsed = Vec::new();
     let mut sources = Sources::default();
     for rel in &files {
@@ -121,6 +136,13 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
             &mut violations,
             &mut invariants,
         );
+        // The unsafe inventory snapshots library code: test-region sites
+        // are exempt from the SAFETY rule and excluded here too, and the
+        // auditor's own sources are excluded like the other marker
+        // indexes (dogfooding).
+        if !rel.starts_with("crates/xtask") {
+            unsafe_sites.extend(analysis.unsafe_sites.iter().filter(|s| !s.in_test).cloned());
+        }
         sources.insert(rel, &source);
         parsed.push((rel.clone(), analysis));
     }
@@ -142,6 +164,7 @@ pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
         allowlist,
         unused_allowlist,
         invariants,
+        unsafe_sites,
         hot_paths: analysis.hot_markers.clone(),
         callgraph: analysis.stats(),
         files_scanned: files.len(),

@@ -38,11 +38,11 @@ fn usage() {
          DESIGN.md §\"Invariants & static analysis\".\n\
          \n\
          options:\n\
-           --fix-report <path>  also write a machine-readable JSON report (schema v2)\n\
+           --fix-report <path>  also write a machine-readable JSON report (schema v3)\n\
            --root <path>        workspace root (default: walk up from cwd)\n\
            --warnings           print heuristic warnings (never fail the audit)\n\
          \n\
-         markers: prints the INVARIANT / HOT-PATH marker index; with --check,\n\
+         markers: prints the INVARIANT / HOT-PATH / UNSAFE marker index; with --check,\n\
          diffs it against the committed `audit-markers.txt` snapshot and fails\n\
          on drift (regenerate with `cargo xtask markers > audit-markers.txt`)."
     );
@@ -64,6 +64,15 @@ fn render_markers(report: &xtask::report::AuditReport) -> String {
             m.text
         ));
     }
+    for s in &report.unsafe_sites {
+        lines.push(format!(
+            "UNSAFE {}:{} [{}] {}",
+            s.path,
+            s.line,
+            s.kind.label(),
+            s.snippet
+        ));
+    }
     lines.sort();
     let mut out = String::new();
     let _ = writeln!(
@@ -76,8 +85,9 @@ fn render_markers(report: &xtask::report::AuditReport) -> String {
     );
     let _ = writeln!(
         out,
-        "# added/moved/removed INVARIANT or HOT-PATH marker is reviewed here."
+        "# added/moved/removed INVARIANT or HOT-PATH marker — and every new"
     );
+    let _ = writeln!(out, "# UNSAFE site in library code — is reviewed here.");
     for l in lines {
         let _ = writeln!(out, "{l}");
     }
@@ -128,9 +138,10 @@ fn markers(args: &[String]) -> ExitCode {
     let committed = std::fs::read_to_string(&snapshot_path).unwrap_or_default();
     if committed == rendered {
         println!(
-            "markers: snapshot up to date ({} invariant, {} hot-path)",
+            "markers: snapshot up to date ({} invariant, {} hot-path, {} unsafe)",
             report.invariants.len(),
-            report.hot_paths.len()
+            report.hot_paths.len(),
+            report.unsafe_sites.len()
         );
         return ExitCode::SUCCESS;
     }

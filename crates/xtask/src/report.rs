@@ -2,12 +2,13 @@
 
 use crate::allowlist::AllowEntry;
 use crate::callgraph::CallGraphStats;
-use crate::parser::HotPathMarker;
+use crate::parser::{HotPathMarker, UnsafeSite};
 use crate::rules::{InvariantMarker, Violation};
 
 /// JSON report schema version. v2 added `hot_paths`, `callgraph`, and
-/// per-violation `chain` arrays.
-pub const SCHEMA_VERSION: u32 = 2;
+/// per-violation `chain` arrays; v3 added `unsafe_sites` (the workspace
+/// unsafe inventory behind the `unsafe-safety-comment` rule).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Complete result of one audit run.
 #[derive(Debug)]
@@ -23,6 +24,10 @@ pub struct AuditReport {
     pub unused_allowlist: Vec<usize>,
     /// Every `// INVARIANT:` marker in the workspace.
     pub invariants: Vec<InvariantMarker>,
+    /// Every non-test `unsafe` site in the workspace (the inventory is
+    /// empty while the crates keep `#![forbid(unsafe_code)]`; any
+    /// future site appears here and in `audit-markers.txt`).
+    pub unsafe_sites: Vec<UnsafeSite>,
     /// Every `// HOT-PATH:` marker in the workspace.
     pub hot_paths: Vec<HotPathMarker>,
     /// Call-graph summary counts.
@@ -86,7 +91,8 @@ impl AuditReport {
         let _ = writeln!(
             out,
             "audit: {} file(s) scanned, {} fn(s) / {} call edge(s) in graph, {} error(s), \
-             {} warning(s), {} allowlisted, {} invariant + {} hot-path marker(s) indexed",
+             {} warning(s), {} allowlisted, {} invariant + {} hot-path marker(s) indexed, \
+             {} unsafe site(s) inventoried",
             self.files_scanned,
             self.callgraph.functions,
             self.callgraph.edges,
@@ -94,7 +100,8 @@ impl AuditReport {
             warnings,
             self.suppressed.len(),
             self.invariants.len(),
-            self.hot_paths.len()
+            self.hot_paths.len(),
+            self.unsafe_sites.len()
         );
         out
     }
@@ -168,6 +175,21 @@ impl AuditReport {
             })
             .collect();
         out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"unsafe_sites\": [\n");
+        let items: Vec<String> = self
+            .unsafe_sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"path\": {}, \"line\": {}, \"kind\": {}, \"snippet\": {}}}",
+                    json_str(&s.path),
+                    s.line,
+                    json_str(s.kind.label()),
+                    json_str(&s.snippet)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
         out.push_str("\n  ],\n  \"hot_paths\": [\n");
         let items: Vec<String> = self
             .hot_paths
@@ -226,6 +248,7 @@ mod tests {
             allowlist: Vec::new(),
             unused_allowlist: Vec::new(),
             invariants: Vec::new(),
+            unsafe_sites: Vec::new(),
             hot_paths: Vec::new(),
             callgraph: CallGraphStats::default(),
             files_scanned: 0,
@@ -269,12 +292,21 @@ mod tests {
             allowlist: Vec::new(),
             unused_allowlist: Vec::new(),
             invariants: Vec::new(),
+            unsafe_sites: vec![crate::parser::UnsafeSite {
+                path: "crates/rtree/src/olc.rs".into(),
+                line: 9,
+                kind: crate::parser::UnsafeKind::Block,
+                snippet: "unsafe { ptr.read() }".into(),
+                in_test: false,
+            }],
             hot_paths: Vec::new(),
             callgraph: CallGraphStats::default(),
             files_scanned: 1,
         };
         let json = report.render_json();
         assert!(json.contains("\"rule\": \"float-eq\""));
+        assert!(json.contains("\"unsafe_sites\""));
+        assert!(json.contains("\"kind\": \"block\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

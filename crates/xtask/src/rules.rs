@@ -68,6 +68,17 @@ pub struct RuleSet {
     pub lossy_cast: bool,
     /// R7: public `Result`-returning fns must document `# Errors`.
     pub error_docs: bool,
+    /// C1: every `unsafe` block/fn/impl/trait must carry a
+    /// `// SAFETY:` comment within the attachment window above it.
+    pub unsafe_safety: bool,
+    /// C2: manual `unsafe impl Send`/`Sync` is always an error — the
+    /// allowlist (which requires a written reason) is the only way to
+    /// ship one.
+    pub send_sync: bool,
+    /// C3: atomic operations must name an explicit `Ordering` at the
+    /// call site, `Relaxed` requires an `// ORDERING:` comment, and
+    /// `static mut` is banned outright.
+    pub atomic_ordering: bool,
 }
 
 fn snippet(source: &str, line: usize) -> String {
@@ -534,5 +545,203 @@ pub fn check_error_docs(
             severity: Severity::Error,
             chain: Vec::new(),
         });
+    }
+}
+
+/// Attachment window for justification comments (`// SAFETY:`,
+/// `// ORDERING:`): the comment must sit on the site's line or within
+/// this many lines above it. Same width as the `// INVARIANT:` window.
+const COMMENT_WINDOW: usize = 16;
+
+/// Does `needle` occur on the site's line or within [`COMMENT_WINDOW`]
+/// lines above it? (`line` is 1-based.)
+fn has_comment_near(lines: &[&str], line: usize, needle: &str) -> bool {
+    let idx = line.saturating_sub(1).min(lines.len().saturating_sub(1));
+    let start = idx.saturating_sub(COMMENT_WINDOW);
+    lines
+        .get(start..=idx)
+        .unwrap_or(&[])
+        .iter()
+        .any(|l| l.contains(needle))
+}
+
+/// C1 `unsafe-safety-comment`: every `unsafe` site outside tests must
+/// carry a `// SAFETY:` comment within the attachment window. The sites
+/// come from the parser's flat-scan inventory, so string literals never
+/// match and nested `unsafe { unsafe { } }` blocks are each audited.
+pub fn check_unsafe_safety(
+    path: &str,
+    source: &str,
+    analysis: &crate::parser::FileAnalysis,
+    out: &mut Vec<Violation>,
+) {
+    let lines: Vec<&str> = source.lines().collect();
+    for site in &analysis.unsafe_sites {
+        if site.in_test || has_comment_near(&lines, site.line, "// SAFETY:") {
+            continue;
+        }
+        out.push(Violation {
+            rule: "unsafe-safety-comment",
+            path: path.to_owned(),
+            line: site.line,
+            snippet: snippet(source, site.line),
+            message: format!(
+                "`unsafe` {} has no `// SAFETY:` comment within the \
+                 {COMMENT_WINDOW} lines above it — state the proof obligation \
+                 being discharged, not just that the code was reviewed",
+                site.kind.label()
+            ),
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// C2 `send-sync-audit`: a manual `unsafe impl Send`/`Sync` asserts a
+/// thread-safety proof the compiler cannot check, so each one is an
+/// error until an allowlist entry records who audited it and why the
+/// type's fields really are safe to move/share across threads.
+pub fn check_send_sync(
+    path: &str,
+    source: &str,
+    analysis: &crate::parser::FileAnalysis,
+    out: &mut Vec<Violation>,
+) {
+    for im in &analysis.impls {
+        let is_marker = matches!(im.trait_name.as_deref(), Some("Send") | Some("Sync"));
+        if !im.is_unsafe || im.in_test || !is_marker {
+            continue;
+        }
+        out.push(Violation {
+            rule: "send-sync-audit",
+            path: path.to_owned(),
+            line: im.line,
+            snippet: snippet(source, im.line),
+            message: format!(
+                "manual `unsafe impl {} for {}` — every hand-written \
+                 thread-safety assertion must be allowlisted with the \
+                 audit argument (which field forbids the auto impl and \
+                 why it is nonetheless safe)",
+                im.trait_name.as_deref().unwrap_or(""),
+                im.self_ty.as_deref().unwrap_or("_"),
+            ),
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// Method names that are unambiguously atomic operations in this
+/// workspace: every call must name an explicit `Ordering` in its
+/// argument list.
+const ATOMIC_METHODS: [&str; 13] = [
+    "load",
+    "store",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "fetch_update",
+];
+
+/// The five memory-ordering variant names.
+const ORDERING_NAMES: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// C3 `atomic-ordering`: three checks in one pass.
+///
+/// * `static mut` is banned — use an atomic or a lock.
+/// * An atomic method call (`ATOMIC_METHODS`) whose argument list
+///   names no `Ordering` variant forwards a variable ordering; the
+///   ordering decision must be visible at the call site.
+/// * `Relaxed` anywhere in the argument list requires an
+///   `// ORDERING:` comment within the attachment window arguing why
+///   no synchronization edge is needed.
+///
+/// `.swap(...)` is atomic only when an `Ordering` appears in its
+/// arguments (`slice::swap(i, j)` shares the name); and a nested
+/// atomic call inside another's argument list can satisfy the outer
+/// call's ordering scan — a known token-level over-approximation, the
+/// nested shape does not occur in first-party code.
+pub fn check_atomic_ordering(path: &str, source: &str, toks: &[Tok], out: &mut Vec<Violation>) {
+    let regions = test_regions(toks);
+    let lines: Vec<&str> = source.lines().collect();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || in_regions(&regions, i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(i + 1);
+
+        if tok.text == "static" && next.is_some_and(|x| x.kind == TokKind::Ident && x.text == "mut")
+        {
+            out.push(Violation {
+                rule: "atomic-ordering",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: "`static mut` is banned — every access is an unsynchronized \
+                          data race waiting to happen; use an atomic or a lock"
+                    .to_owned(),
+                severity: Severity::Error,
+                chain: Vec::new(),
+            });
+            continue;
+        }
+
+        let is_method_call = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".")
+            && next.is_some_and(|x| x.kind == TokKind::Punct && x.text == "(");
+        let maybe_atomic = ATOMIC_METHODS.contains(&tok.text.as_str()) || tok.text == "swap";
+        if !is_method_call || !maybe_atomic {
+            continue;
+        }
+        let close = matching_delim(toks, i + 1, "(", ")");
+        let orderings: Vec<&str> = toks[i + 2..close.min(toks.len())]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && ORDERING_NAMES.contains(&t.text.as_str()))
+            .map(|t| t.text.as_str())
+            .collect();
+        if tok.text == "swap" && orderings.is_empty() {
+            // `slice::swap(i, j)` etc. — not an atomic op.
+            continue;
+        }
+        if orderings.is_empty() {
+            out.push(Violation {
+                rule: "atomic-ordering",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: format!(
+                    "atomic `.{}(..)` names no explicit `Ordering` — the memory \
+                     ordering is a correctness decision that must be visible at \
+                     the call site, not forwarded through a variable",
+                    tok.text
+                ),
+                severity: Severity::Error,
+                chain: Vec::new(),
+            });
+        } else if orderings.contains(&"Relaxed")
+            && !has_comment_near(&lines, tok.line, "// ORDERING:")
+        {
+            out.push(Violation {
+                rule: "atomic-ordering",
+                path: path.to_owned(),
+                line: tok.line,
+                snippet: snippet(source, tok.line),
+                message: format!(
+                    "`Ordering::Relaxed` on `.{}(..)` without an `// ORDERING:` \
+                     comment within the {COMMENT_WINDOW} lines above — argue why \
+                     no happens-before edge is needed (or which fence provides it)",
+                    tok.text
+                ),
+                severity: Severity::Error,
+                chain: Vec::new(),
+            });
+        }
     }
 }

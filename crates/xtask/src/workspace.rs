@@ -116,6 +116,15 @@ pub fn classify(rel: &str) -> RuleSet {
     // Float equality: all first-party library code (not shims, whose API
     // mirrors upstream crates; not the auditor).
     rules.float_eq = !(rel.starts_with("shims/") || rel.starts_with("crates/xtask"));
+    // Concurrency rules C1/C2 apply everywhere outside tests: an
+    // undocumented `unsafe` or a hand-rolled Send/Sync assertion is as
+    // dangerous in a shim as in a library crate.
+    rules.unsafe_safety = true;
+    rules.send_sync = true;
+    // C3 exempts shims: their atomic wrappers forward a caller-supplied
+    // `Ordering` variable by design (the API mirrors upstream crates),
+    // which the call-site-visibility check would flag on every method.
+    rules.atomic_ordering = !rel.starts_with("shims/");
     rules
 }
 

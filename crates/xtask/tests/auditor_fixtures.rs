@@ -14,6 +14,9 @@ const ALL_RULES: RuleSet = RuleSet {
     indexing_strict: false,
     lossy_cast: true,
     error_docs: true,
+    unsafe_safety: true,
+    send_sync: true,
+    atomic_ordering: true,
 };
 
 fn read_fixture(name: &str) -> String {
@@ -181,6 +184,50 @@ fn error_docs_flags_missing_section_and_dead_variant() {
 }
 
 #[test]
+fn unsafe_without_safety_comment_is_flagged_documented_and_test_sites_pass() {
+    let (violations, _) = audit_fixture("unsafe_safety.rs", false, false);
+    assert_single(&violations, "unsafe-safety-comment", 6, Severity::Error);
+    assert!(violations[0].message.contains("// SAFETY:"));
+}
+
+#[test]
+fn manual_send_sync_impl_is_flagged_even_with_a_safety_comment() {
+    let (violations, _) = audit_fixture("send_sync.rs", false, false);
+    assert_single(&violations, "send-sync-audit", 13, Severity::Error);
+    assert!(violations[0].message.contains("Sync"));
+    assert!(violations[0].message.contains("Racy"));
+}
+
+#[test]
+fn relaxed_without_ordering_comment_is_flagged_commented_and_explicit_pass() {
+    let (violations, _) = audit_fixture("atomic_ordering.rs", false, false);
+    assert_single(&violations, "atomic-ordering", 8, Severity::Error);
+    assert!(violations[0].message.contains("// ORDERING:"));
+}
+
+#[test]
+fn forwarding_a_variable_ordering_is_flagged() {
+    let (violations, _) = audit_fixture("atomic_forwarded.rs", false, false);
+    assert_single(&violations, "atomic-ordering", 7, Severity::Error);
+    assert!(violations[0].message.contains("no explicit `Ordering`"));
+}
+
+#[test]
+fn static_mut_is_banned() {
+    let (violations, _) = audit_fixture("static_mut.rs", false, false);
+    assert_single(&violations, "atomic-ordering", 3, Severity::Error);
+    assert!(violations[0].message.contains("static mut"));
+}
+
+#[test]
+fn hot_path_lock_flags_transitive_acquisition_with_chain() {
+    let violations = audit_fixture_graph("hot_path_lock.rs", RuleSet::default());
+    assert_single(&violations, "hot-path-lock", 18, Severity::Error);
+    assert!(violations[0].snippet.contains("lock"));
+    assert_eq!(violations[0].chain, ["passes", "bump", "<.lock()>"]);
+}
+
+#[test]
 fn allowlist_suppresses_a_triaged_violation() {
     let (violations, _) = audit_fixture("float_eq.rs", false, false);
     let entries =
@@ -241,5 +288,13 @@ fn workspace_audits_clean() {
     assert!(
         report.hot_paths.iter().all(|m| m.attached_fn.is_some()),
         "no dangling HOT-PATH markers"
+    );
+    // Every crate root carries `#![forbid(unsafe_code)]`, so the
+    // concurrency audit's unsafe inventory must come back empty; the
+    // first real site will show up here and in `audit-markers.txt`.
+    assert!(
+        report.unsafe_sites.is_empty(),
+        "unexpected unsafe sites in library code: {:?}",
+        report.unsafe_sites
     );
 }

@@ -1,0 +1,8 @@
+//! Fixture for `atomic-ordering`: forwarding a caller-supplied
+//! `Ordering` hides the synchronization decision from the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn forwarded(v: &AtomicU64, order: Ordering) -> u64 {
+    v.load(order)
+}

@@ -1,0 +1,23 @@
+//! Fixture for `atomic-ordering`: a `Relaxed` access without an
+//! ORDERING comment is flagged; a commented `Relaxed`, explicit
+//! `Acquire`/`Release` pairs, and non-atomic `Vec::swap` are not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn uncommented(v: &AtomicU64) -> u64 {
+    v.load(Ordering::Relaxed)
+}
+
+pub fn paired(v: &AtomicU64) -> u64 {
+    v.store(1, Ordering::Release);
+    v.load(Ordering::Acquire)
+}
+
+pub fn slices(xs: &mut Vec<u64>) {
+    xs.swap(0, 1);
+}
+
+// ORDERING: stats-only counter; no reader orders anything against it.
+pub fn commented(v: &AtomicU64) -> u64 {
+    v.load(Ordering::Relaxed)
+}

@@ -1,0 +1,23 @@
+//! Fixture for `hot-path-lock`: a `Mutex` acquisition two calls below
+//! a hot root is flagged with the full chain; the same lock in a cold
+//! (unreachable-from-hot) function is not.
+
+use std::sync::Mutex;
+
+pub struct Stats {
+    counts: Mutex<u64>,
+}
+
+// HOT-PATH: per-candidate probability predicate.
+pub fn passes(s: &Stats, x: f64) -> bool {
+    bump(s);
+    x > 0.5
+}
+
+fn bump(s: &Stats) {
+    *s.counts.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+}
+
+pub fn cold_report(s: &Stats) -> u64 {
+    *s.counts.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,15 @@
+//! Fixture for `send-sync-audit`: a manual `unsafe impl Sync` is
+//! flagged even when it carries a SAFETY comment — only an allowlist
+//! entry with the audit argument can accept one. Types with
+//! auto-derived thread safety are untouched.
+
+use std::cell::UnsafeCell;
+
+pub struct Racy {
+    pub cell: UnsafeCell<u64>,
+}
+
+// SAFETY: the cell is only touched through the crate's accessors.
+unsafe impl Sync for Racy {}
+
+pub struct Plain(pub u64);

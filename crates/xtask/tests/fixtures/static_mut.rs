@@ -1,0 +1,3 @@
+//! Fixture for `atomic-ordering`: `static mut` is banned outright.
+
+pub static mut COUNTER: u64 = 0;

@@ -1,0 +1,22 @@
+//! Fixture for `unsafe-safety-comment`: an `unsafe` block with no
+//! SAFETY comment is flagged; documented sites (block and fn alike)
+//! and test-region sites are not.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// SAFETY: dereferencing is the caller's contract — `read_byte` is
+// itself `unsafe` and its docs state the validity requirement.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unsafe_is_exempt() {
+        let x = 7u8;
+        assert_eq!(unsafe { *(&x as *const u8) }, 7);
+    }
+}

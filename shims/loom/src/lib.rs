@@ -1,0 +1,58 @@
+//! Offline API-compatible subset of [`loom`](https://docs.rs/loom) for
+//! the gaussian-prq workspace.
+//!
+//! The build environment has no network access, so this shim vendors a
+//! minimal deterministic interleaving explorer. [`model`] re-runs a
+//! closure under **every** thread schedule within configured bounds: a
+//! DFS over replayed schedule prefixes, where the shimmed atomics in
+//! [`sync::atomic`] and the thread primitives in [`thread`] hand control
+//! to the scheduler at every access.
+//!
+//! # What it checks — and what it cannot
+//!
+//! The shim explores interleavings under **sequential consistency**
+//! only: every schedule is a total order of the model's synchronization
+//! operations, and each shimmed atomic op takes effect immediately in
+//! that order. Weak-memory effects (store buffering, reordering allowed
+//! by `Relaxed`/`Acquire`/`Release`) are *not* modeled — the real loom
+//! tracks those; this shim does not. The workspace compensates with a
+//! ThreadSanitizer CI lane that runs the same algorithms under real
+//! hardware concurrency. Use the shim to prove schedule-level protocol
+//! correctness (lost updates, torn multi-word reads, lock-protocol
+//! violations, deadlocks); use TSan to catch ordering mistakes.
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{model, try_explore, try_explore_with, Bounds, Exploration, Failure};
+
+/// Hints to the processor or scheduler, mirroring `loom::hint`.
+pub mod hint {
+    /// Yield point marking a spin-wait iteration; under a model this is
+    /// a full scheduling point so other threads can make progress.
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}

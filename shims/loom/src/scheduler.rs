@@ -1,0 +1,530 @@
+//! The deterministic interleaving explorer.
+//!
+//! One *execution* runs the model closure with every model thread mapped
+//! onto a real OS thread, but serialized: exactly one thread owns the
+//! floor at any instant, and ownership changes hands only at *yield
+//! points* — every shimmed atomic access, `fence`, `spawn`, `join`, and
+//! `yield_now`. At each yield point the scheduler consults a replayed
+//! *schedule prefix* (the DFS stack) to decide which runnable thread
+//! proceeds; decisions past the end of the prefix default to the
+//! lowest-numbered runnable thread and are recorded as new branch
+//! points. After the execution finishes, the deepest branch point with
+//! an unexplored alternative is advanced and the model is re-run. When
+//! no branch point has an alternative left, the schedule space at the
+//! configured bounds is exhausted.
+//!
+//! Failures (a panicking model thread, a join deadlock, an exceeded
+//! bound) abort the execution: scheduling stops, the surviving threads
+//! free-run to completion (their results no longer matter), and the
+//! failure is reported with the schedule that produced it.
+//!
+//! The model closure must be deterministic given the schedule: no
+//! ambient randomness, time, or I/O — the same choices must replay the
+//! same yield-point sequence, or prefix replay diverges.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Exploration bounds. An exploration that hits a bound is reported as
+/// incomplete ([`Exploration::complete`] is `false`) rather than
+/// silently truncated.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum model threads alive in one execution (including the
+    /// model closure itself, which is thread 0).
+    pub max_threads: usize,
+    /// Maximum yield points in one execution — a guard against
+    /// unbounded spin loops, which would make the schedule space
+    /// infinite.
+    pub max_steps: usize,
+    /// Maximum executions before the exploration gives up.
+    pub max_executions: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_threads: 4,
+            max_steps: 10_000,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+/// Result of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Exploration {
+    /// Number of executions (distinct schedules) run.
+    pub executions: usize,
+    /// `true` when every schedule within the bounds was explored;
+    /// `false` when [`Bounds::max_executions`] stopped the DFS early.
+    pub complete: bool,
+    /// Deepest branch-point count seen in any single execution.
+    pub max_branch_points: usize,
+}
+
+/// A model failure: the schedule that produced it plus the panic or
+/// scheduler diagnostic.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// 1-based index of the failing execution.
+    pub execution: usize,
+    /// Panic message or scheduler diagnostic.
+    pub message: String,
+    /// The branch decisions of the failing schedule, as
+    /// `(chosen, enabled)` pairs — replayable by inspection.
+    pub schedule: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed on execution {} — {}\n  schedule (chosen/enabled): {:?}",
+            self.execution, self.message, self.schedule
+        )
+    }
+}
+
+/// Scheduling status of one model thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting in `join` on another model thread.
+    Blocked { on: usize },
+    /// Closure returned (or unwound).
+    Finished,
+}
+
+/// One recorded branch point.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    /// Index into the runnable set that was taken.
+    chosen: usize,
+    /// Size of the runnable set (number of alternatives).
+    enabled: usize,
+}
+
+/// Mutable scheduler state, behind the execution mutex.
+struct ExecState {
+    statuses: Vec<Status>,
+    /// Thread id that currently owns the floor.
+    current: usize,
+    /// Yield points taken so far (spin-loop guard).
+    steps: usize,
+    /// Replayed DFS prefix: branch index per recorded choice point.
+    prefix: Vec<usize>,
+    /// Branch points recorded this execution (only yield points with
+    /// two or more runnable threads — forced moves are not branches).
+    trace: Vec<Choice>,
+    /// Set on failure: scheduling stops and threads free-run.
+    abort: bool,
+    failure: Option<String>,
+    /// OS handles of every spawned model thread, joined by the driver.
+    handles: Vec<std::thread::JoinHandle<()>>,
+    finished: usize,
+}
+
+/// One execution's scheduler. Shared by all its model threads.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    bounds: Bounds,
+}
+
+thread_local! {
+    /// The (execution, thread id) pair of the current OS thread, when it
+    /// is a model thread. Shim operations outside a model context fall
+    /// back to plain `std` behavior.
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to tear down model threads once an execution
+/// aborts (failure recorded or bound exceeded): each thread unwinds at
+/// its next yield point so even infinite spin loops terminate. The
+/// thread wrappers recognize and swallow it — it is not a model
+/// failure in itself.
+struct ModelAbort;
+
+/// Unwinds the current model thread without running the panic hook.
+fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(ModelAbort));
+}
+
+/// The current thread's model context, if any.
+pub(crate) fn context() -> Option<(Arc<Execution>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+fn set_context(exec: Arc<Execution>, id: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, bounds: Bounds) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                statuses: Vec::new(),
+                current: 0,
+                steps: 0,
+                prefix,
+                trace: Vec::new(),
+                abort: false,
+                failure: None,
+                handles: Vec::new(),
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            bounds,
+        }
+    }
+
+    /// Locks the state, recovering from poisoning (a model thread that
+    /// panicked never holds this lock across user code, so the state is
+    /// consistent even when poisoned).
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, st: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records the first failure and switches the execution to
+    /// free-running abort mode.
+    fn fail(&self, st: &mut ExecState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Picks the next floor owner among runnable threads, replaying the
+    /// prefix or extending the trace. No-op in abort mode.
+    fn choose_next(&self, st: &mut ExecState) {
+        if st.abort {
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.finished < st.statuses.len() {
+                self.fail(
+                    st,
+                    "deadlock: every live model thread is blocked in join".to_owned(),
+                );
+            }
+            return;
+        }
+        let next = if enabled.len() == 1 {
+            // Forced move: not a branch point, nothing to record.
+            enabled[0]
+        } else {
+            let k = st.trace.len();
+            let chosen = st.prefix.get(k).copied().unwrap_or(0);
+            st.trace.push(Choice {
+                chosen,
+                enabled: enabled.len(),
+            });
+            enabled[chosen]
+        };
+        st.current = next;
+    }
+
+    /// One scheduling round on behalf of thread `me`: pick who runs the
+    /// next operation, then wait until the floor comes back to `me`.
+    /// Unwinds ([`abort_unwind`]) instead of returning once the
+    /// execution has aborted.
+    fn schedule_and_wait(&self, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > self.bounds.max_steps {
+            self.fail(
+                &mut st,
+                format!(
+                    "schedule exceeded {} yield points — unbounded spin loop in the model?",
+                    self.bounds.max_steps
+                ),
+            );
+            drop(st);
+            abort_unwind();
+        }
+        self.choose_next(&mut st);
+        self.cv.notify_all();
+        while !st.abort && st.current != me {
+            st = self.wait(st);
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    /// Blocks until the floor is first handed to `me` (thread startup).
+    /// Returns `false` when the execution aborted before `me` ever ran
+    /// — the closure must then be skipped.
+    fn wait_until_scheduled(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        while !st.abort && st.current != me {
+            st = self.wait(st);
+        }
+        !st.abort
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the floor on.
+    fn finish_thread(&self, me: usize) {
+        let mut st = self.lock();
+        st.statuses[me] = Status::Finished;
+        st.finished += 1;
+        for s in st.statuses.iter_mut() {
+            if *s == (Status::Blocked { on: me }) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.finished < st.statuses.len() {
+            self.choose_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Extracts a human-readable message from a panic payload.
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "model thread panicked (non-string payload)".to_owned()
+        }
+    }
+}
+
+/// The scheduler yield point: every shimmed synchronization operation
+/// calls this before performing its effect. Outside a model context it
+/// is a no-op, so the shimmed types behave like plain `std` atomics.
+pub(crate) fn yield_point() {
+    if let Some((exec, me)) = context() {
+        exec.schedule_and_wait(me);
+    }
+}
+
+/// Spawns a model thread running `f`, registered with the current
+/// execution. Must only be called from a model context.
+pub(crate) fn spawn_model_thread<T, F>(
+    exec: &Arc<Execution>,
+    f: F,
+) -> (usize, Arc<Mutex<Option<std::thread::Result<T>>>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let id = {
+        let mut st = exec.lock();
+        if st.statuses.len() >= exec.bounds.max_threads {
+            let max = exec.bounds.max_threads;
+            exec.fail(
+                &mut st,
+                format!("model spawned more than max_threads = {max} threads"),
+            );
+        }
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    };
+    let exec2 = Arc::clone(exec);
+    let slot2 = Arc::clone(&slot);
+    let handle = std::thread::spawn(move || {
+        set_context(Arc::clone(&exec2), id);
+        let result = if exec2.wait_until_scheduled(id) {
+            catch_unwind(AssertUnwindSafe(f))
+        } else {
+            // Aborted before this thread ever ran.
+            Err(Box::new(ModelAbort) as Box<dyn std::any::Any + Send>)
+        };
+        if let Err(payload) = &result {
+            if !payload.is::<ModelAbort>() {
+                let mut st = exec2.lock();
+                let msg = Execution::panic_message(payload.as_ref());
+                exec2.fail(&mut st, msg);
+            }
+        }
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        exec2.finish_thread(id);
+    });
+    exec.lock().handles.push(handle);
+    // The spawn itself is a synchronization operation: the child is now
+    // runnable and may be scheduled before the parent's next operation.
+    yield_point();
+    (id, slot)
+}
+
+/// Waits (from a model thread) for model thread `target` to finish.
+/// Unwinds (abort teardown) if the execution aborts while the target is
+/// still alive.
+pub(crate) fn join_model_thread(exec: &Arc<Execution>, me: usize, target: usize) {
+    // Joining is itself a synchronization operation.
+    exec.schedule_and_wait(me);
+    let mut st = exec.lock();
+    if !st.abort && st.statuses[target] != Status::Finished {
+        st.statuses[me] = Status::Blocked { on: target };
+        exec.choose_next(&mut st);
+        exec.cv.notify_all();
+    }
+    while !st.abort && st.statuses[target] != Status::Finished {
+        st = exec.wait(st);
+    }
+    if st.statuses[target] != Status::Finished {
+        drop(st);
+        abort_unwind();
+    }
+    while !st.abort && st.current != me {
+        st = exec.wait(st);
+    }
+}
+
+/// Runs one execution of `f` under `prefix`; returns the recorded trace
+/// and the failure, if any.
+fn run_once(
+    prefix: Vec<usize>,
+    bounds: Bounds,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Choice>, Option<String>) {
+    let exec = Arc::new(Execution::new(prefix, bounds));
+    exec.lock().statuses.push(Status::Runnable);
+    let exec2 = Arc::clone(&exec);
+    let f2 = Arc::clone(f);
+    let root = std::thread::spawn(move || {
+        set_context(Arc::clone(&exec2), 0);
+        let result = catch_unwind(AssertUnwindSafe(|| f2()));
+        if let Err(payload) = &result {
+            if !payload.is::<ModelAbort>() {
+                let mut st = exec2.lock();
+                let msg = Execution::panic_message(payload.as_ref());
+                exec2.fail(&mut st, msg);
+            }
+        }
+        exec2.finish_thread(0);
+    });
+    exec.lock().handles.push(root);
+    let (handles, trace, failure) = {
+        let mut st = exec.lock();
+        while st.finished < st.statuses.len() {
+            st = exec.wait(st);
+        }
+        (
+            std::mem::take(&mut st.handles),
+            std::mem::take(&mut st.trace),
+            st.failure.clone(),
+        )
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    (trace, failure)
+}
+
+/// Advances the deepest branch point with an unexplored alternative;
+/// `None` when the DFS is exhausted.
+fn next_prefix(trace: &[Choice]) -> Option<Vec<usize>> {
+    let k = trace.iter().rposition(|c| c.chosen + 1 < c.enabled)?;
+    let mut prefix: Vec<usize> = trace[..=k].iter().map(|c| c.chosen).collect();
+    prefix[k] += 1;
+    Some(prefix)
+}
+
+/// Explores every schedule of `f` within `bounds`. Returns the
+/// exploration summary, or the first [`Failure`] encountered.
+///
+/// # Errors
+///
+/// Returns `Err` when a model thread panics (an assertion in the model
+/// failed), when the model deadlocks, or when a per-execution bound
+/// (threads, yield points) is exceeded.
+pub fn try_explore_with<F>(bounds: Bounds, f: F) -> Result<Exploration, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        context().is_none(),
+        "nested loom models are not supported by the shim"
+    );
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix = Vec::new();
+    let mut executions = 0usize;
+    let mut max_branch_points = 0usize;
+    loop {
+        executions += 1;
+        let (trace, failure) = run_once(prefix, bounds, &f);
+        if let Some(message) = failure {
+            return Err(Failure {
+                execution: executions,
+                message,
+                schedule: trace.iter().map(|c| (c.chosen, c.enabled)).collect(),
+            });
+        }
+        max_branch_points = max_branch_points.max(trace.len());
+        match next_prefix(&trace) {
+            Some(p) if executions < bounds.max_executions => prefix = p,
+            Some(_) => {
+                return Ok(Exploration {
+                    executions,
+                    complete: false,
+                    max_branch_points,
+                })
+            }
+            None => {
+                return Ok(Exploration {
+                    executions,
+                    complete: true,
+                    max_branch_points,
+                })
+            }
+        }
+    }
+}
+
+/// [`try_explore_with`] under default [`Bounds`].
+///
+/// # Errors
+///
+/// Same failure conditions as [`try_explore_with`].
+pub fn try_explore<F>(f: F) -> Result<Exploration, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    try_explore_with(Bounds::default(), f)
+}
+
+/// Explores every schedule of `f`, panicking on a model failure or an
+/// incomplete exploration. This is the loom-compatible entry point.
+///
+/// # Panics
+///
+/// Panics when any schedule fails the model's assertions, when the
+/// model deadlocks, or when the exploration hits a bound before
+/// covering every schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match try_explore(f) {
+        Ok(exploration) => assert!(
+            exploration.complete,
+            "exploration incomplete: {} executions hit the max_executions bound",
+            exploration.executions
+        ),
+        Err(failure) => panic!("{failure}"),
+    }
+}

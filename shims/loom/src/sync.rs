@@ -1,0 +1,209 @@
+//! Shimmed `std::sync` subset: model-aware atomic types.
+
+/// Model-aware atomics mirroring `std::sync::atomic`.
+///
+/// Each type wraps its `std` counterpart and calls the scheduler's
+/// yield point before every operation, so the interleaving explorer can
+/// branch on which thread performs its next access. Outside a model
+/// context (plain `cargo test` without `loom::model`), the yield point
+/// is a no-op and the types behave exactly like `std` atomics.
+pub mod atomic {
+    use crate::scheduler::yield_point;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// A shimmed memory fence: a scheduling point followed by the real
+    /// `std::sync::atomic::fence`.
+    pub fn fence(order: Ordering) {
+        yield_point();
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! shim_atomic_int {
+        ($(#[$meta:meta])* $Shim:ident, $Std:ident, $T:ty) => {
+            $(#[$meta])*
+            #[derive(Debug, Default)]
+            pub struct $Shim {
+                inner: std::sync::atomic::$Std,
+            }
+
+            impl $Shim {
+                /// Creates a new atomic holding `v`.
+                #[must_use]
+                pub const fn new(v: $T) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$Std::new(v),
+                    }
+                }
+
+                /// Loads the value (scheduling point).
+                #[must_use]
+                pub fn load(&self, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Stores `v` (scheduling point).
+                pub fn store(&self, v: $T, order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, order);
+                }
+
+                /// Swaps in `v`, returning the previous value
+                /// (scheduling point).
+                pub fn swap(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.swap(v, order)
+                }
+
+                /// Compare-and-exchange (scheduling point).
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from
+                /// `current`, exactly like the `std` counterpart.
+                pub fn compare_exchange(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Weak compare-and-exchange (scheduling point). The
+                /// shim never fails spuriously — under sequential
+                /// consistency a spurious failure adds no schedules.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from
+                /// `current`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic add, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_add(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Atomic bitwise OR, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_or(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_or(v, order)
+                }
+
+                /// Atomic bitwise AND, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_and(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// Atomic maximum, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_max(&self, v: $T, order: Ordering) -> $T {
+                    yield_point();
+                    self.inner.fetch_max(v, order)
+                }
+
+                /// Consumes the atomic, returning the contained value.
+                #[must_use]
+                pub fn into_inner(self) -> $T {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    shim_atomic_int!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    shim_atomic_int!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    shim_atomic_int!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+
+    /// Model-aware `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic holding `v`.
+        #[must_use]
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Loads the value (scheduling point).
+        #[must_use]
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.inner.load(order)
+        }
+
+        /// Stores `v` (scheduling point).
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.inner.store(v, order);
+        }
+
+        /// Swaps in `v`, returning the previous value (scheduling
+        /// point).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.swap(v, order)
+        }
+
+        /// Compare-and-exchange (scheduling point).
+        ///
+        /// # Errors
+        ///
+        /// Returns the actual value when it differs from `current`.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            yield_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+}

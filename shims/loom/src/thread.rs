@@ -1,0 +1,90 @@
+//! Shimmed `std::thread` subset: model-registered spawn/join.
+
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler::{self, Execution};
+
+/// Handle to a spawned thread, mirroring `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    /// Spawned outside a model: a real `std` thread.
+    Native(std::thread::JoinHandle<T>),
+    /// Spawned inside a model: the scheduler tracks it; the closure's
+    /// result (or panic payload) lands in `slot`.
+    Model {
+        exec: Arc<Execution>,
+        target: usize,
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> std::fmt::Debug for Inner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inner::Native(_) => f.write_str("Native"),
+            Inner::Model { target, .. } => write!(f, "Model({target})"),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler and only runs when scheduled; outside a model this is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match scheduler::context() {
+        None => JoinHandle {
+            inner: Inner::Native(std::thread::spawn(f)),
+        },
+        Some((exec, _me)) => {
+            let (target, slot) = scheduler::spawn_model_thread(&exec, f);
+            JoinHandle {
+                inner: Inner::Model { exec, target, slot },
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload, mirroring `std::thread::JoinHandle::join`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload when the joined thread panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a model handle from outside its model
+    /// context, or if the result slot is unexpectedly empty (a shim
+    /// invariant violation).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Native(h) => h.join(),
+            Inner::Model { exec, target, slot } => {
+                let (_, me) = scheduler::context()
+                    .expect("model JoinHandle joined outside its model context");
+                scheduler::join_model_thread(&exec, me, target);
+                let result = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                result.expect("finished model thread left no result")
+            }
+        }
+    }
+}
+
+/// A scheduling point: inside a model, offers the scheduler a branch;
+/// outside, forwards to `std::thread::yield_now`.
+pub fn yield_now() {
+    if scheduler::context().is_some() {
+        scheduler::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,161 @@
+//! Self-tests for the vendored interleaving explorer: the DFS must be
+//! exhaustive (find every interleaving), deterministic (same schedule
+//! count on every run), and sound (a genuinely racy model MUST fail).
+
+use std::sync::Arc;
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+
+/// Two threads each incrementing atomically always end at 2, under
+/// every schedule, and the exploration terminates complete.
+#[test]
+fn atomic_counter_is_race_free_under_all_schedules() {
+    let exploration = loom::try_explore(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    })
+    .expect("atomic counter model must not fail");
+    assert!(exploration.complete, "exploration must be exhaustive");
+    assert!(
+        exploration.executions >= 2,
+        "two racing increments must produce multiple schedules, got {}",
+        exploration.executions
+    );
+}
+
+/// The checker has teeth: a read-modify-write race (separate load and
+/// store) loses an update in SOME schedule, and the explorer must find
+/// that schedule and report the model's assertion failure.
+#[test]
+fn explorer_finds_the_lost_update_in_a_racy_counter() {
+    let failure = loom::try_explore(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    })
+    .expect_err("the explorer must find the lost-update schedule");
+    assert!(
+        failure.message.contains("lost update"),
+        "unexpected failure: {failure}"
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "failure must carry the schedule that produced it"
+    );
+}
+
+/// Exploration is deterministic: the same model explores the same
+/// number of schedules every time.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        loom::try_explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = loom::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        })
+        .expect("deterministic model must not fail")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.max_branch_points, b.max_branch_points);
+    assert!(a.complete && a.executions >= 3);
+}
+
+/// Three threads: the explorer covers the full interleaving space of
+/// two children racing against the parent.
+#[test]
+fn three_thread_model_explores_and_sums_correctly() {
+    let exploration = loom::try_explore(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        n.fetch_add(1, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    })
+    .expect("three-way atomic counter must not fail");
+    assert!(exploration.complete);
+    assert!(
+        exploration.executions >= 6,
+        "three racing threads must produce at least 3! orderings, got {}",
+        exploration.executions
+    );
+}
+
+/// A model that exceeds the step bound (unbounded spin with no writer)
+/// is reported as a failure, not an infinite hang.
+#[test]
+fn unbounded_spin_is_cut_off_by_the_step_bound() {
+    let bounds = loom::Bounds {
+        max_threads: 2,
+        max_steps: 64,
+        max_executions: 1_000,
+    };
+    let failure = loom::try_explore_with(bounds, || {
+        let flag = Arc::new(AtomicUsize::new(0));
+        // Nobody ever sets the flag: this spin cannot terminate.
+        while flag.load(Ordering::SeqCst) == 0 {
+            loom::hint::spin_loop();
+        }
+    })
+    .expect_err("an unbounded spin must trip the step bound");
+    assert!(
+        failure.message.contains("yield points"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Outside any model context the shimmed types degrade to plain `std`
+/// atomics and `std` threads.
+#[test]
+fn shim_falls_back_to_std_outside_a_model() {
+    let n = Arc::new(AtomicUsize::new(40));
+    let n2 = Arc::clone(&n);
+    let t = loom::thread::spawn(move || n2.fetch_add(2, Ordering::SeqCst));
+    t.join().unwrap();
+    assert_eq!(n.load(Ordering::SeqCst), 42);
+    loom::thread::yield_now();
+    loom::sync::atomic::fence(Ordering::SeqCst);
+}
+
+/// `model` (the loom-compatible entry point) runs a passing model to
+/// completion without panicking.
+#[test]
+fn model_entry_point_passes_on_a_correct_model() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || n2.swap(7, Ordering::SeqCst));
+        let prev = t.join().unwrap();
+        assert_eq!(prev, 0);
+        assert_eq!(n.load(Ordering::SeqCst), 7);
+    });
+}
