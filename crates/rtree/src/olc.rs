@@ -126,6 +126,10 @@ impl VersionCell {
     ///
     /// `read` must be side-effect-free: it may run multiple times and
     /// its intermediate results are discarded on validation failure.
+    // RETRY-SAFE: the loop body re-runs on every validation failure;
+    // all of its bindings are local, so re-execution is unobservable
+    // (the `retry-purity` audit rule checks this body and every
+    // closure passed in).
     pub fn read_consistent<T>(&self, max_retries: usize, mut read: impl FnMut() -> T) -> Option<T> {
         for _ in 0..=max_retries {
             let Some(guard) = self.optimistic_read() else {

@@ -174,6 +174,160 @@ fn unlocked_writer_produces_a_validated_torn_read_in_some_schedule() {
     );
 }
 
+/// A parent/child pair under lock coupling: the parent's `ptr` word
+/// names the active child, and a "split" writer repoints it to the
+/// pre-populated sibling and then poisons the abandoned child — all
+/// under both write locks, the way an OLC tree node split abandons its
+/// old page. The two readers below differ ONLY in when they validate
+/// the parent relative to taking the child guard; that ordering is
+/// exactly what the `olc-use-before-validate` audit rule pins for the
+/// real tree descent.
+struct TwoCell {
+    parent: VersionCell,
+    ptr: AtomicU64,
+    children: [Node; 2],
+}
+
+impl TwoCell {
+    /// Child 0 active with `(7, 14)`; child 1 pre-populated with
+    /// `(21, 42)` so the split writer only repoints and poisons —
+    /// keeping its scheduling-point count (and the schedule space)
+    /// small enough for exhaustive exploration.
+    fn new() -> Self {
+        let cell = TwoCell {
+            parent: VersionCell::new(),
+            ptr: AtomicU64::new(0),
+            children: [Node::new(), Node::new()],
+        };
+        cell.children[0].lo.store(7, Ordering::Relaxed);
+        cell.children[0].hi.store(14, Ordering::Relaxed);
+        cell.children[1].lo.store(21, Ordering::Relaxed);
+        cell.children[1].hi.store(42, Ordering::Relaxed);
+        cell
+    }
+
+    /// Split: repoint `ptr` to child 1 and poison child 0's payload,
+    /// holding the parent lock and the abandoned child's lock for the
+    /// whole operation.
+    fn split(&self) {
+        let parent_guard = self
+            .parent
+            .write_lock()
+            .expect("uncontended parent lock must succeed");
+        let child_guard = self.children[0]
+            .version
+            .write_lock()
+            .expect("uncontended child lock must succeed");
+        self.ptr.store(1, Ordering::Relaxed);
+        self.children[0].lo.store(99, Ordering::Relaxed);
+        drop(child_guard);
+        drop(parent_guard);
+    }
+
+    /// CORRECT lock-coupled read: take the child guard BEFORE
+    /// validating the parent, so the parent validation also vouches
+    /// for the `ptr` dereference that chose the child.
+    fn coupled_read(&self) -> Option<(u64, u64)> {
+        let parent_guard = self.parent.optimistic_read()?;
+        let idx = self.ptr.load(Ordering::Relaxed) as usize;
+        let child = &self.children[idx & 1];
+        let child_guard = child.version.optimistic_read()?;
+        if !parent_guard.validate() {
+            return None;
+        }
+        let lo = child.lo.load(Ordering::Relaxed);
+        let hi = child.hi.load(Ordering::Relaxed);
+        if !child_guard.validate() {
+            return None;
+        }
+        Some((lo, hi))
+    }
+
+    /// BROKEN on purpose: validates the parent BEFORE taking the child
+    /// guard. In the handoff window between the two, a completed split
+    /// can poison the chosen child without either validation noticing.
+    fn naive_read(&self) -> Option<(u64, u64)> {
+        let parent_guard = self.parent.optimistic_read()?;
+        let idx = self.ptr.load(Ordering::Relaxed) as usize;
+        if !parent_guard.validate() {
+            return None;
+        }
+        let child = &self.children[idx & 1];
+        let child_guard = child.version.optimistic_read()?;
+        let lo = child.lo.load(Ordering::Relaxed);
+        let hi = child.hi.load(Ordering::Relaxed);
+        if !child_guard.validate() {
+            return None;
+        }
+        Some((lo, hi))
+    }
+}
+
+/// Across EVERY schedule of a concurrent split, the lock-coupled
+/// reader only ever returns one of the two consistent pairs — the
+/// poisoned `(99, 14)` never escapes validation.
+#[test]
+fn lock_coupled_read_never_yields_the_poisoned_child() {
+    let exploration = loom::try_explore(|| {
+        let cell = Arc::new(TwoCell::new());
+        let writer = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || cell.split())
+        };
+        if let Some((lo, hi)) = cell.coupled_read() {
+            assert!(
+                (lo, hi) == (7, 14) || (lo, hi) == (21, 42),
+                "poisoned snapshot escaped lock coupling: ({lo}, {hi})"
+            );
+        }
+        writer.join().unwrap();
+        // After the split retires, a read must land on the new child.
+        assert_eq!(cell.coupled_read(), Some((21, 42)));
+    })
+    .expect("lock-coupled handoff must hold under every schedule");
+    assert!(
+        exploration.complete,
+        "exploration hit a bound — the proof is not exhaustive"
+    );
+    assert!(
+        exploration.executions >= 50,
+        "suspiciously few schedules explored: {}",
+        exploration.executions
+    );
+}
+
+/// The coupling order has teeth: the reader that validates the parent
+/// before taking the child guard DOES observe the poisoned child in
+/// some schedule. This pins the handoff window the correct reader
+/// closes — and is the concurrent counterpart of the static
+/// `olc-use-before-validate` rule's dominance requirement.
+#[test]
+fn naive_handoff_admits_the_poisoned_child_in_some_schedule() {
+    let poison_seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let recorder = Arc::clone(&poison_seen);
+    let exploration = loom::try_explore(move || {
+        let cell = Arc::new(TwoCell::new());
+        let writer = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || cell.split())
+        };
+        if let Some((lo, _hi)) = cell.naive_read() {
+            if lo == 99 {
+                recorder.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        writer.join().unwrap();
+    })
+    .expect("the naive reader asserts nothing, so it cannot fail");
+    assert!(exploration.complete);
+    assert!(
+        poison_seen.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "no schedule leaked the poisoned child through the naive \
+         handoff — the model is not exercising the window that lock \
+         coupling closes"
+    );
+}
+
 /// Reader retries ride out a writer: with enough retries the reader
 /// always lands a validated snapshot in this bounded model.
 #[test]

@@ -72,6 +72,26 @@ const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Lock-type qualifiers for path-call shapes (`Mutex::lock(&m)`).
 const LOCK_TYPES: [&str; 2] = ["Mutex", "RwLock"];
 
+/// Crates whose acquisition sites feed the `lock-order` rule: the graph
+/// crates plus the observability layer, which owns the workspace's only
+/// real `Mutex`. Kept separate from [`GRAPH_CRATES`] so `crates/obs`
+/// does not enter the hot-path/panic-reachability universe.
+pub const LOCK_CRATES: [&str; 5] = [
+    "crates/linalg",
+    "crates/gaussian",
+    "crates/rtree",
+    "crates/core",
+    "crates/obs",
+];
+
+/// Acquisition method names for the lock-order graph. `write_lock`
+/// covers the OLC seqlock writer side, which blocks writers against
+/// each other exactly like a mutex.
+const ORDER_METHODS: [&str; 4] = ["lock", "read", "write", "write_lock"];
+
+/// Lock-type qualifiers for path-call acquisition shapes.
+const ORDER_TYPES: [&str; 3] = ["Mutex", "RwLock", "VersionCell"];
+
 /// Panic-family macros checked by the reachability rule. `debug_assert*`
 /// is exempt: compiled out of release builds.
 const PANIC_MACROS: [&str; 7] = [
@@ -95,6 +115,47 @@ pub struct CallGraphStats {
     pub hot_roots: usize,
     /// Public entry points (panic-reachability roots).
     pub pub_roots: usize,
+    /// Lock-acquisition sites in the lock-order graph.
+    pub lock_sites: usize,
+    /// Held-then-acquire edges between lock classes.
+    pub lock_edges: usize,
+}
+
+/// One lock-acquisition site in the lock-order graph.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Lock class — the receiver identifier for method shapes
+    /// (`inner` in `self.inner.lock()`), the type qualifier for path
+    /// shapes (`Mutex` in `Mutex::lock(&m)`). A heuristic: two locks
+    /// behind the same field name share a class, which over-merges
+    /// (conservative for cycle detection) rather than over-splits.
+    pub class: String,
+    /// Human description of the acquisition shape.
+    pub desc: String,
+    /// Defining file (workspace-relative).
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Qualified name of the containing fn.
+    pub fn_qual: String,
+}
+
+/// One held-then-acquire edge: some function acquires class `from` and
+/// then — directly, or via a callee — acquires class `to` before the
+/// first can be assumed released.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Class held first.
+    pub from: String,
+    /// Class acquired second.
+    pub to: String,
+    /// Human-readable evidence chain for the edge.
+    pub witness: String,
+    /// File of the first acquisition.
+    pub path: String,
+    /// Line anchoring the edge (the second acquisition or the call
+    /// that reaches it).
+    pub line: usize,
 }
 
 /// The merged workspace analysis plus the resolved call graph.
@@ -110,6 +171,12 @@ pub struct Analysis {
     /// `edges[i]` = indices of functions `fns[i]` may call.
     pub edges: Vec<Vec<usize>>,
     edge_count: usize,
+    /// Acquisition sites in the lock-order universe ([`LOCK_CRATES`]),
+    /// sorted by (path, line).
+    pub lock_sites: Vec<LockSite>,
+    /// Held-then-acquire edges between distinct lock classes, deduped
+    /// by (from, to) and sorted.
+    pub lock_edges: Vec<LockEdge>,
 }
 
 fn crate_of(path: &str) -> &str {
@@ -126,6 +193,12 @@ fn in_graph(path: &str) -> bool {
         .any(|c| path.starts_with(&format!("{c}/src/")))
 }
 
+fn in_lock_graph(path: &str) -> bool {
+    LOCK_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("{c}/src/")))
+}
+
 impl Analysis {
     /// Merges per-file analyses and resolves call edges.
     pub fn build(files: &[(String, FileAnalysis)]) -> Analysis {
@@ -133,6 +206,7 @@ impl Analysis {
         let mut enums = Vec::new();
         let mut hot_markers = Vec::new();
         let mut qual_refs = Vec::new();
+        let mut lock_fns = Vec::new();
         for (path, fa) in files {
             // Dogfooding exclusion: the auditor's own sources mention
             // marker strings and enum names as rule data.
@@ -145,7 +219,11 @@ impl Analysis {
             if in_graph(path) {
                 fns.extend(fa.fns.iter().filter(|f| !f.in_test).cloned());
             }
+            if in_lock_graph(path) {
+                lock_fns.extend(fa.fns.iter().filter(|f| !f.in_test).cloned());
+            }
         }
+        let (lock_sites, lock_edges) = build_lock_graph(&lock_fns);
 
         // Name indexes.
         let mut by_qual_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
@@ -190,6 +268,8 @@ impl Analysis {
             qual_refs,
             edges,
             edge_count,
+            lock_sites,
+            lock_edges,
         }
     }
 
@@ -200,6 +280,8 @@ impl Analysis {
             edges: self.edge_count,
             hot_roots: self.fns.iter().filter(|f| f.hot_marker.is_some()).count(),
             pub_roots: self.fns.iter().filter(|f| f.is_pub).count(),
+            lock_sites: self.lock_sites.len(),
+            lock_edges: self.lock_edges.len(),
         }
     }
 
@@ -417,6 +499,271 @@ impl Analysis {
                     });
                 }
             }
+        }
+    }
+
+    /// `lock-order`: the lock classes acquired by [`LOCK_CRATES`] code
+    /// must admit a single global acquisition order. Every
+    /// held-then-acquire pair (within one function, or through a callee
+    /// reached while a lock is plausibly held) contributes a directed
+    /// edge between lock classes; a cycle in that graph means two
+    /// threads interleaving the conflicting orders can deadlock. The
+    /// witness chain names every acquisition around the cycle.
+    pub fn check_lock_order(&self, sources: &Sources, out: &mut Vec<Violation>) {
+        for cycle in find_cycles(&self.lock_edges) {
+            let edge_of = |from: &String, to: &String| {
+                self.lock_edges
+                    .iter()
+                    .find(|e| &e.from == from && &e.to == to)
+            };
+            let mut chain = Vec::new();
+            for k in 0..cycle.len() {
+                if let Some(e) = edge_of(&cycle[k], &cycle[(k + 1) % cycle.len()]) {
+                    chain.push(e.witness.clone());
+                }
+            }
+            let Some(first) = edge_of(&cycle[0], &cycle[1 % cycle.len()]) else {
+                continue;
+            };
+            let desc = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|c| format!("`{c}`"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Violation {
+                rule: "lock-order",
+                path: first.path.clone(),
+                line: first.line,
+                snippet: sources.line(&first.path, first.line),
+                message: format!(
+                    "lock classes form an acquisition cycle {desc} — threads \
+                     interleaving these orders can deadlock; pick one global \
+                     acquisition order (DESIGN.md §13)"
+                ),
+                severity: Severity::Error,
+                chain,
+            });
+        }
+    }
+}
+
+/// Describes `call` as a lock-order acquisition, returning the lock
+/// class and a human description. Method shapes classify by receiver
+/// identifier; chained receivers (`x.field().lock()`) cannot be
+/// classified and are skipped — acceptable because every real
+/// acquisition in this workspace names its lock field directly.
+fn lock_acquisition(call: &Call) -> Option<(String, String)> {
+    match call.kind {
+        CallKind::Method if ORDER_METHODS.contains(&call.name.as_str()) => {
+            let class = call.receiver.clone()?;
+            let desc = format!(".{}() on `{class}`", call.name);
+            Some((class, desc))
+        }
+        CallKind::Path
+            if call
+                .qual
+                .as_deref()
+                .is_some_and(|q| ORDER_TYPES.contains(&q))
+                && ORDER_METHODS.contains(&call.name.as_str()) =>
+        {
+            let q = call.qual.clone().unwrap_or_default();
+            let desc = format!("{q}::{}", call.name);
+            Some((q, desc))
+        }
+        _ => None,
+    }
+}
+
+/// Builds the lock-order graph over the non-test functions of
+/// [`LOCK_CRATES`]: direct acquisition sites, a may-acquire summary per
+/// function (propagated over name-resolved call edges to a fixpoint),
+/// and held-then-acquire edges between distinct classes. A call at or
+/// after an acquisition line is treated as made while the lock is held
+/// — an over-approximation (no drop tracking), which is why edges
+/// require *distinct* classes: re-acquiring the same class after a
+/// drop must not read as self-deadlock.
+fn build_lock_graph(fns: &[FnInfo]) -> (Vec<LockSite>, Vec<LockEdge>) {
+    let n = fns.len();
+    let mut by_qual_name: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        if let Some(q) = &f.qual {
+            by_qual_name
+                .entry((q.clone(), f.name.clone()))
+                .or_default()
+                .push(i);
+        }
+        if f.has_self {
+            methods_by_name.entry(f.name.clone()).or_default().push(i);
+        } else {
+            free_by_name.entry(f.name.clone()).or_default().push(i);
+        }
+    }
+
+    // Source ordering is by token position (from `args_range`), not by
+    // line: two acquisitions on one line still order.
+    let mut sites = Vec::new();
+    let mut direct: Vec<Vec<(String, String, usize, usize)>> = vec![Vec::new(); n];
+    let mut call_targets: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+    for (i, f) in fns.iter().enumerate() {
+        for call in &f.calls {
+            let pos = call.args_range.map_or(usize::MAX, |(lo, _)| lo);
+            if let Some((class, desc)) = lock_acquisition(call) {
+                direct[i].push((class.clone(), desc.clone(), call.line, pos));
+                sites.push(LockSite {
+                    class,
+                    desc,
+                    path: f.path.clone(),
+                    line: call.line,
+                    fn_qual: f.qual_name(),
+                });
+            }
+            let mut targets = BTreeSet::new();
+            resolve(
+                fns,
+                i,
+                call,
+                &by_qual_name,
+                &methods_by_name,
+                &free_by_name,
+                &mut targets,
+            );
+            call_targets[i].extend(targets.into_iter().map(|j| (pos, call.line, j)));
+        }
+    }
+    sites.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    // May-acquire summaries: class -> witness chain, to a fixpoint over
+    // the call edges. Bounded: each pass adds at least one (fn, class)
+    // pair or terminates.
+    let mut acq: Vec<BTreeMap<String, String>> = vec![BTreeMap::new(); n];
+    for i in 0..n {
+        for (class, desc, line, _) in &direct[i] {
+            acq[i]
+                .entry(class.clone())
+                .or_insert_with(|| format!("<{desc}> at {}:{line}", fns[i].path));
+        }
+    }
+    for _ in 0..64 {
+        let mut changed = false;
+        for i in 0..n {
+            let mut add = Vec::new();
+            for &(_, _, j) in &call_targets[i] {
+                for (class, w) in &acq[j] {
+                    if !acq[i].contains_key(class) {
+                        add.push((class.clone(), format!("`{}` -> {w}", fns[j].qual_name())));
+                    }
+                }
+            }
+            for (class, w) in add {
+                if let std::collections::btree_map::Entry::Vacant(e) = acq[i].entry(class) {
+                    e.insert(w);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut edge_map: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        for (class, desc, line, pos) in &direct[i] {
+            for (c2, d2, l2, p2) in &direct[i] {
+                if p2 > pos && c2 != class {
+                    edge_map
+                        .entry((class.clone(), c2.clone()))
+                        .or_insert_with(|| LockEdge {
+                            from: class.clone(),
+                            to: c2.clone(),
+                            witness: format!(
+                                "`{}` acquires `{class}` (<{desc}> at {}:{line}) \
+                                 then `{c2}` (<{d2}> at {}:{l2})",
+                                f.qual_name(),
+                                f.path,
+                                f.path,
+                            ),
+                            path: f.path.clone(),
+                            line: *l2,
+                        });
+                }
+            }
+            for &(call_pos, call_line, j) in &call_targets[i] {
+                if call_pos < *pos {
+                    continue;
+                }
+                for (c2, w) in &acq[j] {
+                    if c2 != class {
+                        edge_map
+                            .entry((class.clone(), c2.clone()))
+                            .or_insert_with(|| LockEdge {
+                                from: class.clone(),
+                                to: c2.clone(),
+                                witness: format!(
+                                    "`{}` acquires `{class}` (<{desc}> at {}:{line}), \
+                                     then calls `{}` (line {call_line}) which \
+                                     acquires `{c2}`: {w}",
+                                    f.qual_name(),
+                                    f.path,
+                                    fns[j].qual_name(),
+                                ),
+                                path: f.path.clone(),
+                                line: call_line,
+                            });
+                    }
+                }
+            }
+        }
+    }
+    (sites, edge_map.into_values().collect())
+}
+
+/// Simple cycles of the lock-class graph, each reported once with its
+/// lexicographically smallest class first. Bounded: at most 10 cycles,
+/// path length at most 12.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    let mut found: BTreeSet<Vec<String>> = BTreeSet::new();
+    let starts: Vec<&str> = adj.keys().copied().collect();
+    for start in starts {
+        if found.len() >= 10 {
+            break;
+        }
+        let mut path = vec![start];
+        cycle_dfs(start, start, &adj, &mut path, &mut found);
+    }
+    found.into_iter().collect()
+}
+
+/// DFS restricted to nodes lexicographically greater than `start`, so
+/// every simple cycle is discovered exactly once, rooted at its
+/// minimal node.
+fn cycle_dfs<'a>(
+    cur: &'a str,
+    start: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    found: &mut BTreeSet<Vec<String>>,
+) {
+    if path.len() > 12 || found.len() >= 10 {
+        return;
+    }
+    let Some(nexts) = adj.get(cur) else {
+        return;
+    };
+    for &nxt in nexts {
+        if nxt == start {
+            found.insert(path.iter().map(|s| (*s).to_owned()).collect());
+        } else if nxt > start && !path.contains(&nxt) {
+            path.push(nxt);
+            cycle_dfs(nxt, start, adj, path, found);
+            path.pop();
         }
     }
 }
@@ -756,6 +1103,54 @@ mod tests {
             .collect();
         assert!(descs.contains(&"<.read()>"), "{out:#?}");
         assert!(descs.contains(&"<RwLock::write>"), "{out:#?}");
+    }
+
+    #[test]
+    fn lock_order_cycle_is_found_with_interprocedural_witness() {
+        let (a, s) = analyze(&[(
+            "crates/core/src/locks.rs",
+            "pub fn ab(x: &S) { x.a.lock(); x.b.lock(); }\n\
+             pub fn bc(x: &S) { x.b.lock(); x.c.lock(); }\n\
+             pub fn ca(x: &S) { x.c.lock(); helper(x); }\n\
+             fn helper(x: &S) { x.a.lock(); }\n",
+        )]);
+        assert_eq!(a.stats().lock_sites, 6);
+        let mut out = Vec::new();
+        a.check_lock_order(&s, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "lock-order");
+        assert!(out[0].message.contains("`a` -> `b` -> `c` -> `a`"), "{}", out[0].message);
+        // The witness chain walks every edge of the cycle, including the
+        // interprocedural hop through `helper`.
+        assert_eq!(out[0].chain.len(), 3, "{out:#?}");
+        assert!(out[0].chain[2].contains("helper"), "{out:#?}");
+    }
+
+    #[test]
+    fn consistent_lock_order_produces_no_cycle() {
+        let (a, s) = analyze(&[(
+            "crates/obs/src/locks.rs",
+            "pub fn one(x: &S) { x.a.lock(); x.b.lock(); }\n\
+             pub fn two(x: &S) { x.a.lock(); x.b.lock(); }\n",
+        )]);
+        assert_eq!(a.stats().lock_sites, 4);
+        assert_eq!(a.stats().lock_edges, 1);
+        let mut out = Vec::new();
+        a.check_lock_order(&s, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn repeated_same_class_acquisition_is_not_a_cycle() {
+        // Drop-then-reacquire of one class must not read as deadlock.
+        let (a, s) = analyze(&[(
+            "crates/core/src/locks.rs",
+            "pub fn twice(x: &S) { x.a.lock(); x.a.lock(); }\n",
+        )]);
+        assert_eq!(a.stats().lock_edges, 0);
+        let mut out = Vec::new();
+        a.check_lock_order(&s, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! Intra-procedural control-flow graphs over the lexed token stream.
+//!
+//! The statement-level rules of PRs 1–6 treat a function body as a flat
+//! token window, which cannot express *ordering* facts: "the guard is
+//! validated before the payload escapes" is a statement about every
+//! path through the body, not about any single window. This module
+//! recovers a per-function CFG — basic blocks of token-range
+//! statements, with branch/loop/`?`/early-return edges — plus block
+//! dominators, so [`crate::dataflow`] can run a forward analysis and a
+//! domination argument on top.
+//!
+//! Like the parser, the builder is hand-rolled (no `syn` offline) and
+//! *forgiving*: unrecognized constructs lower as plain statements and a
+//! malformed body degrades to a single linear block rather than an
+//! error. Two deliberate imprecisions, both documented in DESIGN.md
+//! §13:
+//!
+//! * Blocks are not strictly *basic*: a statement that can transfer
+//!   control out mid-block (`let ... else`, `?`) adds an outgoing edge
+//!   from its enclosing block but the block keeps accumulating
+//!   statements. Dominance stays sound for the validate-before-escape
+//!   argument because the analysis only asks whether a *validate*
+//!   statement sits between a definition and an escape on every path —
+//!   the extra in-block successors only ever *weaken* dominance claims
+//!   across blocks, never strengthen them, except for statements lexically
+//!   after the branching statement in the same block, which genuinely
+//!   do not dominate the branch target (see the dataflow caveats).
+//! * Statement-position `match` arms with expression bodies lower those
+//!   expressions as tail statements, over-approximating "escape" when
+//!   the match result is discarded.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a statement ends / transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// Ordinary statement (ends in `;`).
+    Plain,
+    /// Trailing expression without `;` — the block's value, which for
+    /// the function body (or a match arm) can escape the function.
+    Tail,
+    /// Branch head: the condition/scrutinee of an `if`/`while`/`for`/
+    /// `match`, including any `let` pattern it binds.
+    Cond,
+    /// `return ...;`
+    Return,
+    /// `break` / `continue`.
+    Jump,
+}
+
+/// One statement: a token range within the body.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Token-index range `[lo, hi)`.
+    pub lo: usize,
+    /// Token-index range `[lo, hi)`.
+    pub hi: usize,
+    /// 1-based source line of the first token.
+    pub line: usize,
+    /// Control shape.
+    pub kind: StmtKind,
+}
+
+/// One CFG block: an ordered run of statements plus successor edges.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Indices into [`Cfg::stmts`], in execution order.
+    pub stmts: Vec<usize>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A per-function control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` is the function entry.
+    pub blocks: Vec<Block>,
+    /// All statements, indexed by the blocks.
+    pub stmts: Vec<Stmt>,
+    /// Entry block index (always 0).
+    pub entry: usize,
+    /// Synthetic exit block (no statements, no successors).
+    pub exit: usize,
+    /// `stmt_block[s]` = index of the block containing statement `s`.
+    stmt_block: Vec<usize>,
+}
+
+/// Builds the CFG for a body whose braces sit at token indices
+/// `body.0` (`{`) and `body.1` (`}`), exclusive of both.
+pub fn build(toks: &[Tok], body: (usize, usize)) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        stmts: Vec::new(),
+        stmt_block: Vec::new(),
+        exit: 1,
+    };
+    let start = body.0 + 1;
+    let end = body.1.min(toks.len());
+    let mut loops = Vec::new();
+    let last = b.lower(start, end, 0, &mut loops);
+    b.edge(last, b.exit);
+    Cfg {
+        entry: 0,
+        exit: b.exit,
+        blocks: b.blocks,
+        stmts: b.stmts,
+        stmt_block: b.stmt_block,
+    }
+}
+
+impl Cfg {
+    /// The block containing statement `s`.
+    #[must_use]
+    pub fn block_of(&self, s: usize) -> usize {
+        self.stmt_block[s]
+    }
+
+    /// Block-level dominator sets: `doms[b]` holds `d` iff every path
+    /// from entry to `b` passes through `d`. Computed by the standard
+    /// iterative data-flow over predecessor intersections; blocks
+    /// unreachable from entry keep the full set (they lie on no path,
+    /// so any claim about them is vacuous).
+    #[must_use]
+    pub fn dominators(&self) -> Vec<Vec<bool>> {
+        let n = self.blocks.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        let mut doms: Vec<Vec<bool>> = vec![vec![true; n]; n];
+        doms[self.entry] = vec![false; n];
+        doms[self.entry][self.entry] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if b == self.entry || preds[b].is_empty() {
+                    continue;
+                }
+                let mut next = vec![true; n];
+                for &p in &preds[b] {
+                    for (d, bit) in next.iter_mut().enumerate() {
+                        *bit = *bit && doms[p][d];
+                    }
+                }
+                next[b] = true;
+                if next != doms[b] {
+                    doms[b] = next;
+                    changed = true;
+                }
+            }
+        }
+        doms
+    }
+
+    /// Whether statement `a` dominates statement `b`: every path from
+    /// entry to `b` executes `a` first. Same-block statements use their
+    /// in-block order; cross-block uses block dominance.
+    #[must_use]
+    pub fn stmt_dominates(&self, doms: &[Vec<bool>], a: usize, b: usize) -> bool {
+        let (ba, bb) = (self.stmt_block[a], self.stmt_block[b]);
+        if ba == bb {
+            let blk = &self.blocks[ba];
+            let pa = blk.stmts.iter().position(|&s| s == a);
+            let pb = blk.stmts.iter().position(|&s| s == b);
+            pa <= pb
+        } else {
+            doms[bb][ba]
+        }
+    }
+
+    /// Whether any statement of block `to` can execute after statement
+    /// `s` — i.e. `to` is reachable from `s`'s block (crossing edges),
+    /// or is `s`'s own block (in-block statements after `s` are
+    /// resolved by the caller via statement positions).
+    #[must_use]
+    pub fn reaches_from(&self, s: usize) -> Vec<bool> {
+        let n = self.blocks.len();
+        let mut seen = vec![false; n];
+        let start = self.stmt_block[s];
+        let mut work = vec![start];
+        seen[start] = true;
+        while let Some(b) = work.pop() {
+            for &t in &self.blocks[b].succs {
+                if !seen[t] {
+                    seen[t] = true;
+                    work.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Loop context for `break`/`continue` lowering.
+type LoopCtx = (usize, usize); // (continue target, break target)
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    blocks: Vec<Block>,
+    stmts: Vec<Stmt>,
+    stmt_block: Vec<usize>,
+    exit: usize,
+}
+
+impl Builder<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Records statement `[lo, hi)` in `block`. A `?` anywhere in the
+    /// range adds an early-return edge to the exit block.
+    fn push_stmt(&mut self, block: usize, lo: usize, hi: usize, kind: StmtKind) {
+        if lo >= hi {
+            return;
+        }
+        let id = self.stmts.len();
+        self.stmts.push(Stmt {
+            lo,
+            hi,
+            line: self.toks[lo].line,
+            kind,
+        });
+        self.stmt_block.push(block);
+        self.blocks[block].stmts.push(id);
+        if (lo..hi).any(|i| self.text(i) == "?") {
+            self.edge(block, self.exit);
+        }
+    }
+
+    /// Index of the matching close for the open delimiter at `i`;
+    /// `end` if unbalanced.
+    fn matching(&self, i: usize, end: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// First `{` from `i` at paren/bracket depth 0 (a branch head's
+    /// body opener); `end` if none.
+    fn body_open(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Lowers the statement range `[start, end)` starting in block
+    /// `cur`; returns the block where fall-through control ends up.
+    fn lower(&mut self, start: usize, end: usize, mut cur: usize, loops: &mut Vec<LoopCtx>) -> usize {
+        let mut i = start;
+        while i < end {
+            match self.text(i) {
+                ";" => i += 1,
+                // `'label:` before a loop.
+                _ if self.toks[i].kind == TokKind::Lifetime && self.text(i + 1) == ":" => {
+                    i += 2;
+                }
+                "{" => {
+                    // Bare block: lower inline (scoping is irrelevant
+                    // to control flow).
+                    let close = self.matching(i, end, "{", "}");
+                    cur = self.lower(i + 1, close, cur, loops);
+                    i = close + 1;
+                }
+                "unsafe" if self.text(i + 1) == "{" => i += 1,
+                "if" => {
+                    let (ni, join) = self.lower_if(i, end, cur, loops);
+                    cur = join;
+                    i = ni;
+                }
+                "while" => {
+                    let open = self.body_open(i, end);
+                    let close = self.matching(open, end, "{", "}");
+                    let header = self.new_block();
+                    self.edge(cur, header);
+                    self.push_stmt(header, i, open, StmtKind::Cond);
+                    let body_entry = self.new_block();
+                    let join = self.new_block();
+                    self.edge(header, body_entry);
+                    self.edge(header, join);
+                    loops.push((header, join));
+                    let body_out = self.lower(open + 1, close, body_entry, loops);
+                    loops.pop();
+                    self.edge(body_out, header);
+                    cur = join;
+                    i = close + 1;
+                }
+                "for" => {
+                    let open = self.body_open(i, end);
+                    let close = self.matching(open, end, "{", "}");
+                    let header = self.new_block();
+                    self.edge(cur, header);
+                    self.push_stmt(header, i, open, StmtKind::Cond);
+                    let body_entry = self.new_block();
+                    let join = self.new_block();
+                    self.edge(header, body_entry);
+                    self.edge(header, join);
+                    loops.push((header, join));
+                    let body_out = self.lower(open + 1, close, body_entry, loops);
+                    loops.pop();
+                    self.edge(body_out, header);
+                    cur = join;
+                    i = close + 1;
+                }
+                "loop" => {
+                    let open = self.body_open(i, end);
+                    let close = self.matching(open, end, "{", "}");
+                    let header = self.new_block();
+                    self.edge(cur, header);
+                    let join = self.new_block();
+                    loops.push((header, join));
+                    let body_out = self.lower(open + 1, close, header, loops);
+                    loops.pop();
+                    self.edge(body_out, header);
+                    cur = join;
+                    i = close + 1;
+                }
+                "match" => {
+                    let (ni, join) = self.lower_match(i, end, cur, loops);
+                    cur = join;
+                    i = ni;
+                }
+                "return" => {
+                    let semi = self.stmt_end(i, end);
+                    self.push_stmt(cur, i, semi, StmtKind::Return);
+                    self.edge(cur, self.exit);
+                    cur = self.new_block(); // dead code after return
+                    i = semi + 1;
+                }
+                "break" | "continue" => {
+                    let is_break = self.text(i) == "break";
+                    let semi = self.stmt_end(i, end);
+                    self.push_stmt(cur, i, semi, StmtKind::Jump);
+                    let target = match loops.last() {
+                        Some(&(cont, brk)) => {
+                            if is_break {
+                                brk
+                            } else {
+                                cont
+                            }
+                        }
+                        // `break`/`continue` outside a lowered loop
+                        // (e.g. inside a labeled block): treat as exit.
+                        None => self.exit,
+                    };
+                    self.edge(cur, target);
+                    cur = self.new_block(); // dead code after the jump
+                    i = semi + 1;
+                }
+                "let" => {
+                    i = self.lower_let(i, end, &mut cur, loops);
+                }
+                _ => {
+                    let semi = self.stmt_end(i, end);
+                    let kind = if semi >= end && self.text(semi) != ";" {
+                        StmtKind::Tail
+                    } else {
+                        StmtKind::Plain
+                    };
+                    self.push_stmt(cur, i, semi, kind);
+                    i = semi + 1;
+                }
+            }
+        }
+        cur
+    }
+
+    /// End of a plain statement starting at `i`: the `;` at depth 0, or
+    /// `end`.
+    fn stmt_end(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Lowers a `let` statement, including `let ... else { ... }`;
+    /// returns the index after the statement. The else-body is lowered
+    /// as a diverging branch out of `cur` (its fall-through gets no
+    /// successor — the grammar requires it to diverge).
+    fn lower_let(&mut self, i: usize, end: usize, cur: &mut usize, loops: &mut Vec<LoopCtx>) -> usize {
+        let mut depth = 0isize;
+        let mut seen_branch_kw = false;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => {
+                    self.push_stmt(*cur, i, j, StmtKind::Plain);
+                    return j + 1;
+                }
+                // `if`/`match` at depth 0 in the initializer means a
+                // later depth-0 `else` belongs to them, not to
+                // `let-else`.
+                "if" | "match" if depth == 0 => seen_branch_kw = true,
+                "else" if depth == 0 && !seen_branch_kw => {
+                    // `let PAT = EXPR else { DIVERGE };`
+                    self.push_stmt(*cur, i, j, StmtKind::Plain);
+                    let open = self.body_open(j, end);
+                    let close = self.matching(open, end, "{", "}");
+                    let else_entry = self.new_block();
+                    self.edge(*cur, else_entry);
+                    // Diverging: return/break/continue inside wire
+                    // their own edges; the fall-through block dangles.
+                    self.lower(open + 1, close, else_entry, loops);
+                    let after = if self.text(close + 1) == ";" {
+                        close + 2
+                    } else {
+                        close + 1
+                    };
+                    return after;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.push_stmt(*cur, i, end, StmtKind::Plain);
+        end
+    }
+
+    /// Lowers `if COND { .. } [else if .. | else { .. }]` starting at
+    /// `i`; returns `(index after the construct, join block)`.
+    fn lower_if(
+        &mut self,
+        i: usize,
+        end: usize,
+        cur: usize,
+        loops: &mut Vec<LoopCtx>,
+    ) -> (usize, usize) {
+        let open = self.body_open(i, end);
+        let close = self.matching(open, end, "{", "}");
+        self.push_stmt(cur, i, open, StmtKind::Cond);
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_out = self.lower(open + 1, close, then_entry, loops);
+        let join = self.new_block();
+        self.edge(then_out, join);
+        let mut after = close + 1;
+        if self.text(after) == "else" {
+            if self.text(after + 1) == "if" {
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                let (ni, inner_join) = self.lower_if(after + 1, end, else_entry, loops);
+                self.edge(inner_join, join);
+                after = ni;
+            } else if self.text(after + 1) == "{" {
+                let eclose = self.matching(after + 1, end, "{", "}");
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                let else_out = self.lower(after + 2, eclose, else_entry, loops);
+                self.edge(else_out, join);
+                after = eclose + 1;
+            } else {
+                self.edge(cur, join);
+            }
+        } else {
+            self.edge(cur, join);
+        }
+        (after, join)
+    }
+
+    /// Lowers `match SCRUT { PAT => BODY, ... }` starting at `i`;
+    /// returns `(index after the construct, join block)`.
+    fn lower_match(
+        &mut self,
+        i: usize,
+        end: usize,
+        cur: usize,
+        loops: &mut Vec<LoopCtx>,
+    ) -> (usize, usize) {
+        let open = self.body_open(i, end);
+        let close = self.matching(open, end, "{", "}");
+        self.push_stmt(cur, i, open, StmtKind::Cond);
+        let join = self.new_block();
+        let mut k = open + 1;
+        let mut any_arm = false;
+        while k < close {
+            // Pattern (and guard) up to `=>` at depth 0.
+            let mut depth = 0isize;
+            let mut arrow = k;
+            while arrow < close {
+                match self.text(arrow) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=>" if depth == 0 => break,
+                    _ => {}
+                }
+                arrow += 1;
+            }
+            if arrow >= close {
+                break;
+            }
+            any_arm = true;
+            let arm_entry = self.new_block();
+            self.edge(cur, arm_entry);
+            let body_start = arrow + 1;
+            if self.text(body_start) == "{" {
+                let bclose = self.matching(body_start, close + 1, "{", "}");
+                let arm_out = self.lower(body_start + 1, bclose, arm_entry, loops);
+                self.edge(arm_out, join);
+                k = bclose + 1;
+                if self.text(k) == "," {
+                    k += 1;
+                }
+            } else {
+                // Expression arm: to `,` at depth 0 (or the match close).
+                let mut depth2 = 0isize;
+                let mut e = body_start;
+                while e < close {
+                    match self.text(e) {
+                        "(" | "[" | "{" => depth2 += 1,
+                        ")" | "]" | "}" => depth2 -= 1,
+                        "," if depth2 == 0 => break,
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                let arm_out = self.lower(body_start, e, arm_entry, loops);
+                self.edge(arm_out, join);
+                k = e + 1;
+            }
+        }
+        if !any_arm {
+            self.edge(cur, join);
+        }
+        (close + 1, join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Builds the CFG of the first fn in `src`.
+    fn cfg_of(src: &str) -> Cfg {
+        let toks = lex(src);
+        let a = crate::parser::parse_file("test.rs", src, &toks);
+        build(&toks, a.fns[0].body.unwrap())
+    }
+
+    fn stmt_containing<'a>(cfg: &'a Cfg, toks: &[Tok], needle: &str) -> usize {
+        cfg.stmts
+            .iter()
+            .position(|s| (s.lo..s.hi).any(|i| toks[i].text == needle))
+            .unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg_of("fn f() { let a = 1; let b = a + 1; b }");
+        assert_eq!(c.stmts.len(), 3);
+        assert_eq!(c.stmts[2].kind, StmtKind::Tail);
+        // All three in the entry block.
+        assert!(c.stmts.iter().enumerate().all(|(i, _)| c.block_of(i) == c.entry));
+    }
+
+    #[test]
+    fn if_else_joins_and_dominates() {
+        let src = "fn f(x: u64) -> u64 { let a = seed(); if a > x { left(); } else { right(); } done(a) }";
+        let toks = lex(src);
+        let c = cfg_of(src);
+        let doms = c.dominators();
+        let def = stmt_containing(&c, &toks, "seed");
+        let l = stmt_containing(&c, &toks, "left");
+        let r = stmt_containing(&c, &toks, "right");
+        let after = stmt_containing(&c, &toks, "done");
+        assert!(c.stmt_dominates(&doms, def, l));
+        assert!(c.stmt_dominates(&doms, def, r));
+        assert!(c.stmt_dominates(&doms, def, after));
+        assert!(!c.stmt_dominates(&doms, l, after), "one arm never dominates the join");
+        assert!(!c.stmt_dominates(&doms, l, r));
+    }
+
+    #[test]
+    fn read_consistent_shape_validate_dominates_return() {
+        // The exact control shape of VersionCell::read_consistent.
+        let src = "fn f(n: usize) -> Option<u64> {\n\
+            for _ in 0..=n {\n\
+                let Some(guard) = self.optimistic_read() else {\n\
+                    continue;\n\
+                };\n\
+                let value = read();\n\
+                if guard.validate() {\n\
+                    return Some(value);\n\
+                }\n\
+            }\n\
+            None\n}";
+        let toks = lex(src);
+        let c = cfg_of(src);
+        let doms = c.dominators();
+        let def = stmt_containing(&c, &toks, "value");
+        let val = stmt_containing(&c, &toks, "validate");
+        let ret = stmt_containing(&c, &toks, "return");
+        assert!(c.stmt_dominates(&doms, def, val), "derivation before validate");
+        assert!(c.stmt_dominates(&doms, val, ret), "validate dominates the escape");
+        // The final `None` tail is NOT dominated by the validate.
+        let none_tail = c
+            .stmts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.kind == StmtKind::Tail)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(!c.stmt_dominates(&doms, val, none_tail));
+    }
+
+    #[test]
+    fn loop_break_continue_edges() {
+        let src = "fn f() { loop { if stop() { break; } step(); } after() }";
+        let toks = lex(src);
+        let c = cfg_of(src);
+        let step = stmt_containing(&c, &toks, "step");
+        let after = stmt_containing(&c, &toks, "after");
+        let doms = c.dominators();
+        // The loop body statement does not dominate the code after the
+        // loop (the break path skips it).
+        assert!(!c.stmt_dominates(&doms, step, after));
+        // But it reaches it.
+        assert!(c.reaches_from(step)[c.block_of(after)]);
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let src = "fn f() -> Result<u64, E> { let a = get()?; Ok(a) }";
+        let c = cfg_of(src);
+        let entry_succs = &c.blocks[c.entry].succs;
+        assert!(entry_succs.contains(&c.exit), "`?` wires an early return");
+    }
+
+    #[test]
+    fn match_arms_branch_and_join() {
+        let src = "fn f(x: u64) -> u64 { let s = seed(); match x { 0 => zero(), 1 => { one(); two() } _ => other(), } fin(s) }";
+        let toks = lex(src);
+        let c = cfg_of(src);
+        let doms = c.dominators();
+        let seed = stmt_containing(&c, &toks, "seed");
+        let zero = stmt_containing(&c, &toks, "zero");
+        let two = stmt_containing(&c, &toks, "two");
+        let fin = stmt_containing(&c, &toks, "fin");
+        assert!(c.stmt_dominates(&doms, seed, zero));
+        assert!(c.stmt_dominates(&doms, seed, two));
+        assert!(c.stmt_dominates(&doms, seed, fin));
+        assert!(!c.stmt_dominates(&doms, zero, fin));
+    }
+
+    #[test]
+    fn degenerate_bodies_do_not_panic() {
+        for src in [
+            "fn f() {}",
+            "fn f() { ; ; }",
+            "fn f() { if x { } }",
+            "fn f() { match x { } }",
+            "fn f() { 'a: loop { break; } }",
+            "fn f() { (((( }",
+        ] {
+            let c = cfg_of(src);
+            let _ = c.dominators();
+        }
+    }
+}

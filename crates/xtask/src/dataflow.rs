@@ -1,0 +1,526 @@
+//! Forward dataflow on the per-function CFG: the
+//! `olc-use-before-validate` rule.
+//!
+//! The OLC seqlock protocol (`crates/rtree/src/olc.rs`) demands that
+//! any value derived from the payload read under a
+//! [`VersionCell::optimistic_read`] guard is *validated* before it
+//! escapes the function: between the derivation and every escape site
+//! (return, store, call outside a small sink allowlist) there must be a
+//! `guard.validate()` check on **every** path. This module implements
+//! that domination argument:
+//!
+//! 1. find guard definitions (statements calling `optimistic_read` and
+//!    binding the result),
+//! 2. taint values derived while a guard is outstanding — a `let`
+//!    whose initializer mentions a tainted variable or the guard, or
+//!    performs any opaque read (call / field access / index) while an
+//!    unvalidated guard's definition reaches the statement,
+//! 3. flag every escape `E` of a tainted value defined at `D` under
+//!    guard `g` unless some `g.validate()` statement `V` satisfies
+//!    `dom(D, V) ∧ dom(V, E)`.
+//!
+//! Deliberate conservatism, documented in DESIGN.md §13: taint step 2
+//! treats *any* call under an outstanding guard as payload-derived
+//! (token-level analysis cannot see what a callee reads), and the
+//! domination check is polarity-blind — `if !guard.validate()` counts
+//! as a validation point just like `if guard.validate()`. Both err on
+//! different sides; the former produces false positives that an
+//! `audit-allowlist.txt` entry must justify, the latter accepts a
+//! pathological inverted check (a shape the fixtures pin as out of
+//! scope).
+//!
+//! [`VersionCell::optimistic_read`]: ../gprq_rtree/olc/struct.VersionCell.html
+
+use crate::cfg::{self, Cfg, StmtKind};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FileAnalysis;
+use crate::rules::{snippet, Severity, Violation};
+use std::collections::BTreeMap;
+
+/// Calls whose arguments a tainted value may flow into without counting
+/// as an escape: constructors of the value being returned (checked at
+/// the return itself), the guard's own methods, and side-effect-free
+/// shaping helpers.
+const ALLOWED_SINKS: [&str; 18] = [
+    "Some",
+    "Ok",
+    "Err",
+    "validate",
+    "version",
+    "clone",
+    "drop",
+    "min",
+    "max",
+    "len",
+    "is_empty",
+    "from",
+    "into",
+    "black_box",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "saturating_sub",
+];
+
+/// Identifiers that appear in `let` patterns without being bindings.
+const PATTERN_NOISE: [&str; 6] = ["Some", "Ok", "Err", "None", "mut", "ref"];
+
+/// Per-function analysis caps: beyond these the function is skipped
+/// (no summary, no findings) — far above anything in the workspace.
+const MAX_GUARDS: usize = 32;
+const MAX_BLOCKS: usize = 1024;
+
+/// Summary of one function the dataflow pass analyzed — snapshotted
+/// into `audit-markers.txt` (`CFG` lines) and the schema-v4 report.
+#[derive(Debug, Clone)]
+pub struct CfgFnSummary {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Qualified function name.
+    pub fn_name: String,
+    /// CFG block count (including entry and the synthetic exit).
+    pub blocks: usize,
+    /// Optimistic-read guard definitions found.
+    pub guards: usize,
+}
+
+/// One guard definition inside a function.
+struct GuardDef {
+    /// Binding name (`guard` in `let Some(guard) = ...`).
+    name: String,
+    /// Defining statement index.
+    def: usize,
+    /// Statement indices containing `name.validate()`.
+    validates: Vec<usize>,
+}
+
+/// Taint record for one derived variable.
+#[derive(Clone)]
+struct Taint {
+    /// Statement that (first) derived the value.
+    def: usize,
+    /// Guard indices the value depends on.
+    guards: Vec<usize>,
+}
+
+/// Runs `olc-use-before-validate` over every non-test function in the
+/// file that mentions `optimistic_read`, appending violations and one
+/// [`CfgFnSummary`] per analyzed function.
+pub fn check_olc_use_before_validate(
+    path: &str,
+    source: &str,
+    toks: &[Tok],
+    analysis: &FileAnalysis,
+    violations: &mut Vec<Violation>,
+    summaries: &mut Vec<CfgFnSummary>,
+) {
+    for f in &analysis.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let mentions = (body.0..body.1.min(toks.len()))
+            .any(|i| toks[i].kind == TokKind::Ident && toks[i].text == "optimistic_read");
+        if !mentions {
+            continue;
+        }
+        let cfg = cfg::build(toks, body);
+        if cfg.blocks.len() > MAX_BLOCKS {
+            continue;
+        }
+        let guards = find_guards(toks, &cfg);
+        summaries.push(CfgFnSummary {
+            path: path.to_owned(),
+            line: f.line,
+            fn_name: f.qual_name(),
+            blocks: cfg.blocks.len(),
+            guards: guards.len(),
+        });
+        if guards.is_empty() || guards.len() > MAX_GUARDS {
+            continue;
+        }
+        check_fn(path, source, toks, &cfg, &guards, violations);
+    }
+}
+
+/// Finds guard definitions and their validate statements.
+fn find_guards(toks: &[Tok], cfg: &Cfg) -> Vec<GuardDef> {
+    let mut out = Vec::new();
+    for (s, stmt) in cfg.stmts.iter().enumerate() {
+        let has_read = (stmt.lo..stmt.hi)
+            .any(|i| toks[i].kind == TokKind::Ident && toks[i].text == "optimistic_read");
+        if !has_read {
+            continue;
+        }
+        // Binding: the last non-noise identifier of the `let` pattern
+        // (covers `let g = ...`, `let Some(g) = ...`, `if let Some(g)`).
+        let Some(name) = let_bindings(toks, stmt.lo, stmt.hi).pop() else {
+            continue;
+        };
+        out.push(GuardDef {
+            name,
+            def: s,
+            validates: Vec::new(),
+        });
+    }
+    for g in &mut out {
+        for (s, stmt) in cfg.stmts.iter().enumerate() {
+            for i in stmt.lo..stmt.hi.saturating_sub(2) {
+                if toks[i].kind == TokKind::Ident
+                    && toks[i].text == g.name
+                    && toks[i + 1].text == "."
+                    && toks[i + 2].text == "validate"
+                {
+                    g.validates.push(s);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers bound by a `let` pattern within `[lo, hi)`: the idents
+/// between the `let` keyword and the first `=`, minus pattern noise.
+/// Empty when the range has no `let`.
+fn let_bindings(toks: &[Tok], lo: usize, hi: usize) -> Vec<String> {
+    let Some(let_at) = (lo..hi).find(|&i| toks[i].kind == TokKind::Ident && toks[i].text == "let")
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for tok in toks.iter().take(hi).skip(let_at + 1) {
+        if tok.kind == TokKind::Punct && tok.text == "=" {
+            break;
+        }
+        if tok.kind == TokKind::Ident && !PATTERN_NOISE.contains(&tok.text.as_str()) {
+            out.push(tok.text.clone());
+        }
+    }
+    out
+}
+
+/// Whether statement `d`'s definition can reach statement `s` (may
+/// analysis: same block and earlier, or `s`'s block reachable from
+/// `d`'s block).
+fn stmt_reaches(cfg: &Cfg, reach: &[bool], d: usize, s: usize) -> bool {
+    if cfg.block_of(d) == cfg.block_of(s) {
+        let blk = cfg.block_of(d);
+        let stmts = &cfg.blocks[blk].stmts;
+        let pd = stmts.iter().position(|&x| x == d);
+        let ps = stmts.iter().position(|&x| x == s);
+        pd < ps
+    } else {
+        reach[cfg.block_of(s)]
+    }
+}
+
+/// The dataflow core for one function.
+fn check_fn(
+    path: &str,
+    source: &str,
+    toks: &[Tok],
+    cfg: &Cfg,
+    guards: &[GuardDef],
+    violations: &mut Vec<Violation>,
+) {
+    let doms = cfg.dominators();
+    let reach: Vec<Vec<bool>> = guards.iter().map(|g| cfg.reaches_from(g.def)).collect();
+    let guard_stmts: Vec<usize> = guards.iter().map(|g| g.def).collect();
+
+    // Taint to fixpoint (loops can carry taint backwards in statement
+    // index order, so iterate until stable, with a small cap).
+    let mut taint: BTreeMap<String, Taint> = BTreeMap::new();
+    for _ in 0..8 {
+        let mut changed = false;
+        for (s, stmt) in cfg.stmts.iter().enumerate() {
+            if guard_stmts.contains(&s) {
+                continue; // the guard binding itself is not payload
+            }
+            let bindings = stmt_bindings(toks, stmt);
+            if bindings.is_empty() {
+                continue;
+            }
+            let rhs = rhs_range(toks, stmt);
+            let mut new_guards: Vec<usize> = Vec::new();
+            let mut opaque = false;
+            for i in rhs.0..rhs.1 {
+                match toks[i].kind {
+                    TokKind::Ident => {
+                        if let Some(t) = taint.get(&toks[i].text) {
+                            merge(&mut new_guards, &t.guards);
+                        }
+                        if let Some(gi) = guards.iter().position(|g| g.name == toks[i].text) {
+                            merge(&mut new_guards, &[gi]);
+                        }
+                    }
+                    TokKind::Punct if matches!(toks[i].text.as_str(), "(" | "[" | ".") => {
+                        opaque = true;
+                    }
+                    _ => {}
+                }
+            }
+            if opaque {
+                let live: Vec<usize> = guards
+                    .iter()
+                    .enumerate()
+                    .filter(|(gi, g)| g.def != s && stmt_reaches(cfg, &reach[*gi], g.def, s))
+                    .map(|(gi, _)| gi)
+                    .collect();
+                merge(&mut new_guards, &live);
+            }
+            if new_guards.is_empty() {
+                continue;
+            }
+            for b in &bindings {
+                let entry = taint.entry(b.clone()).or_insert_with(|| {
+                    changed = true;
+                    Taint {
+                        def: s,
+                        guards: Vec::new(),
+                    }
+                });
+                let before = entry.guards.len();
+                merge(&mut entry.guards, &new_guards);
+                changed |= entry.guards.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Escapes.
+    let mut reported: Vec<(String, usize)> = Vec::new();
+    for (s, stmt) in cfg.stmts.iter().enumerate() {
+        for (var, t) in &taint {
+            if s == t.def || !stmt_reaches(cfg, &cfg.reaches_from(t.def), t.def, s) {
+                continue;
+            }
+            let mentioned =
+                (stmt.lo..stmt.hi).any(|i| toks[i].kind == TokKind::Ident && toks[i].text == *var);
+            if !mentioned {
+                continue;
+            }
+            let escape: Option<String> = if matches!(stmt.kind, StmtKind::Return | StmtKind::Tail) {
+                Some("returned".to_owned())
+            } else {
+                escape_kind(toks, stmt, var)
+            };
+            let Some(desc) = escape else { continue };
+            // Every guard the value depends on must have a validate
+            // dominated by the derivation and dominating the escape.
+            let unvalidated: Vec<&GuardDef> = t
+                .guards
+                .iter()
+                .map(|&gi| &guards[gi])
+                .filter(|g| {
+                    !g.validates.iter().any(|&v| {
+                        cfg.stmt_dominates(&doms, t.def, v) && cfg.stmt_dominates(&doms, v, s)
+                    })
+                })
+                .collect();
+            if unvalidated.is_empty() || reported.contains(&(var.clone(), s)) {
+                continue;
+            }
+            reported.push((var.clone(), s));
+            let g = unvalidated[0];
+            let def_line = cfg.stmts[t.def].line;
+            let guard_line = cfg.stmts[g.def].line;
+            violations.push(Violation {
+                rule: "olc-use-before-validate",
+                path: path.to_owned(),
+                line: stmt.line,
+                snippet: snippet(source, stmt.line),
+                message: format!(
+                    "`{var}` is derived under optimistic guard `{}` and {desc} at line {} \
+                     without a dominating `{}.validate()` check",
+                    g.name, stmt.line, g.name
+                ),
+                severity: Severity::Error,
+                chain: vec![
+                    format!("guard `{}` snapshot at {path}:{guard_line}", g.name),
+                    format!("payload `{var}` derived at {path}:{def_line}"),
+                    format!("escapes ({desc}) at {path}:{}", stmt.line),
+                ],
+            });
+        }
+    }
+}
+
+/// Variables bound by statement `s`: `let` bindings, or the target of a
+/// simple (re)assignment `x = ...` / `x += ...`.
+fn stmt_bindings(toks: &[Tok], stmt: &cfg::Stmt) -> Vec<String> {
+    let lets = let_bindings(toks, stmt.lo, stmt.hi);
+    if !lets.is_empty() {
+        return lets;
+    }
+    if toks[stmt.lo].kind == TokKind::Ident {
+        let next = toks.get(stmt.lo + 1).map_or("", |t| t.text.as_str());
+        let after = toks.get(stmt.lo + 2).map_or("", |t| t.text.as_str());
+        if next == "="
+            || (matches!(next, "+" | "-" | "*" | "/" | "%" | "&" | "^") && after == "=")
+        {
+            return vec![toks[stmt.lo].text.clone()];
+        }
+    }
+    Vec::new()
+}
+
+/// Token range of a statement's initializer / right-hand side: after
+/// the first top-level `=`, or the whole statement when there is none
+/// (branch heads, expression statements).
+fn rhs_range(toks: &[Tok], stmt: &cfg::Stmt) -> (usize, usize) {
+    for i in stmt.lo..stmt.hi {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "=" {
+            return (i + 1, stmt.hi);
+        }
+    }
+    (stmt.lo, stmt.hi)
+}
+
+/// Non-return escape shapes for `var` within a statement: stored
+/// through a place expression, or passed to a call outside
+/// [`ALLOWED_SINKS`].
+fn escape_kind(toks: &[Tok], stmt: &cfg::Stmt, var: &str) -> Option<String> {
+    // Store: `place = ... var ...;` where the place is compound
+    // (contains `.` / `[` / `*` before the `=`).
+    for i in stmt.lo..stmt.hi {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "=" {
+            let lhs_compound = (stmt.lo..i)
+                .any(|k| matches!(toks[k].text.as_str(), "." | "[" | "*"));
+            let is_let = (stmt.lo..i).any(|k| toks[k].text == "let");
+            let rhs_mentions =
+                (i + 1..stmt.hi).any(|k| toks[k].kind == TokKind::Ident && toks[k].text == var);
+            if lhs_compound && !is_let && rhs_mentions {
+                return Some("stored".to_owned());
+            }
+            break;
+        }
+    }
+    // Call argument: `name( ... var ... )` with `name` not allowlisted.
+    for i in stmt.lo..stmt.hi {
+        if toks[i].kind != TokKind::Ident
+            || ALLOWED_SINKS.contains(&toks[i].text.as_str())
+            || toks[i].text == var
+        {
+            continue;
+        }
+        if toks.get(i + 1).map_or("", |t| t.text.as_str()) != "(" {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < stmt.hi {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if depth > 0 && toks[j].kind == TokKind::Ident && toks[j].text == var {
+                        return Some(format!("passed to `{}`", toks[i].text));
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Sorted-merge of guard index sets.
+fn merge(into: &mut Vec<usize>, add: &[usize]) {
+    for &a in add {
+        if !into.contains(&a) {
+            into.push(a);
+        }
+    }
+    into.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let toks = lex(src);
+        let analysis = crate::parser::parse_file("t.rs", src, &toks);
+        let mut v = Vec::new();
+        let mut s = Vec::new();
+        check_olc_use_before_validate("t.rs", src, &toks, &analysis, &mut v, &mut s);
+        v
+    }
+
+    const BAD: &str = "fn torn(cell: &VersionCell, p: &AtomicU64) -> Option<u64> {\n\
+        let Some(guard) = cell.optimistic_read() else {\n\
+            return None;\n\
+        };\n\
+        let value = p.load(Ordering::Acquire);\n\
+        Some(value)\n}";
+
+    const GOOD: &str = "fn ok(cell: &VersionCell, p: &AtomicU64) -> Option<u64> {\n\
+        let Some(guard) = cell.optimistic_read() else {\n\
+            return None;\n\
+        };\n\
+        let value = p.load(Ordering::Acquire);\n\
+        if guard.validate() {\n\
+            return Some(value);\n\
+        }\n\
+        None\n}";
+
+    #[test]
+    fn unvalidated_escape_is_flagged_with_witness() {
+        let v = run(BAD);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "olc-use-before-validate");
+        assert_eq!(v[0].line, 6, "the escape site, not the derivation");
+        assert!(v[0].message.contains("`value`"));
+        assert!(v[0].chain.iter().any(|c| c.contains("escapes")));
+    }
+
+    #[test]
+    fn validate_dominated_escape_is_clean() {
+        assert!(run(GOOD).is_empty());
+    }
+
+    #[test]
+    fn read_consistent_loop_shape_is_clean() {
+        let src = "fn rc(cell: &VersionCell, n: usize) -> Option<u64> {\n\
+            for _ in 0..=n {\n\
+                let Some(guard) = cell.optimistic_read() else {\n\
+                    continue;\n\
+                };\n\
+                let value = read();\n\
+                if guard.validate() {\n\
+                    return Some(value);\n\
+                }\n\
+            }\n\
+            None\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn validate_on_only_one_path_is_flagged() {
+        let src = "fn half(cell: &VersionCell, p: &AtomicU64, flip: bool) -> u64 {\n\
+            let Some(guard) = cell.optimistic_read() else { return 0; };\n\
+            let value = p.load(Ordering::Acquire);\n\
+            if flip {\n\
+                let _ok = guard.validate();\n\
+            }\n\
+            sink(value)\n}";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "validate in one branch does not dominate");
+    }
+
+    #[test]
+    fn functions_without_optimistic_read_are_skipped() {
+        assert!(run("fn plain(x: u64) -> u64 { helper(x) }").is_empty());
+    }
+}

@@ -1,6 +1,6 @@
 //! CLI entry point: `cargo xtask audit [--fix-report <path>] [--root
-//! <path>] [--warnings]` and `cargo xtask markers [--check] [--root
-//! <path>]`.
+//! <path>] [--warnings] [--enforce-runtime]` and `cargo xtask markers
+//! [--check] [--root <path>]`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,19 +32,24 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: cargo xtask audit [--fix-report <path>] [--root <path>] [--warnings]\n\
+         \x20                       [--enforce-runtime]\n\
          \x20      cargo xtask markers [--check] [--root <path>]\n\
          \n\
          audit: checks the workspace against the invariant rules described in\n\
-         DESIGN.md §\"Invariants & static analysis\".\n\
+         DESIGN.md §\"Invariants & static analysis\" and §13 (dataflow rules).\n\
          \n\
          options:\n\
-           --fix-report <path>  also write a machine-readable JSON report (schema v3)\n\
+           --fix-report <path>  also write a machine-readable JSON report (schema v4,\n\
+                                including per-rule wall times and the lock graph)\n\
            --root <path>        workspace root (default: walk up from cwd)\n\
            --warnings           print heuristic warnings (never fail the audit)\n\
+           --enforce-runtime    fail if the audit takes more than 2x the baseline\n\
+                                committed in `audit-baseline.txt`\n\
          \n\
-         markers: prints the INVARIANT / HOT-PATH / UNSAFE marker index; with --check,\n\
-         diffs it against the committed `audit-markers.txt` snapshot and fails\n\
-         on drift (regenerate with `cargo xtask markers > audit-markers.txt`)."
+         markers: prints the INVARIANT / HOT-PATH / UNSAFE / CFG / LOCKGRAPH marker\n\
+         index; with --check, diffs it against the committed `audit-markers.txt`\n\
+         snapshot and fails on drift (regenerate with\n\
+         `cargo xtask markers > audit-markers.txt`)."
     );
 }
 
@@ -73,6 +78,21 @@ fn render_markers(report: &xtask::report::AuditReport) -> String {
             s.snippet
         ));
     }
+    for c in &report.cfg_fns {
+        lines.push(format!(
+            "CFG {}:{} [{}] blocks={} guards={}",
+            c.path, c.line, c.fn_name, c.blocks, c.guards
+        ));
+    }
+    for s in &report.lock_sites {
+        lines.push(format!(
+            "LOCKGRAPH-SITE {}:{} [{}] class={} {}",
+            s.path, s.line, s.fn_qual, s.class, s.desc
+        ));
+    }
+    for e in &report.lock_edges {
+        lines.push(format!("LOCKGRAPH-EDGE {} -> {} ({}:{})", e.from, e.to, e.path, e.line));
+    }
     lines.sort();
     let mut out = String::new();
     let _ = writeln!(
@@ -85,9 +105,17 @@ fn render_markers(report: &xtask::report::AuditReport) -> String {
     );
     let _ = writeln!(
         out,
-        "# added/moved/removed INVARIANT or HOT-PATH marker — and every new"
+        "# added/moved/removed INVARIANT or HOT-PATH marker, every new UNSAFE"
     );
-    let _ = writeln!(out, "# UNSAFE site in library code — is reviewed here.");
+    let _ = writeln!(
+        out,
+        "# site in library code, and every change to the OLC dataflow surface"
+    );
+    let _ = writeln!(
+        out,
+        "# (CFG lines) or the lock-acquisition graph (LOCKGRAPH lines) is"
+    );
+    let _ = writeln!(out, "# reviewed here.");
     for l in lines {
         let _ = writeln!(out, "{l}");
     }
@@ -138,10 +166,14 @@ fn markers(args: &[String]) -> ExitCode {
     let committed = std::fs::read_to_string(&snapshot_path).unwrap_or_default();
     if committed == rendered {
         println!(
-            "markers: snapshot up to date ({} invariant, {} hot-path, {} unsafe)",
+            "markers: snapshot up to date ({} invariant, {} hot-path, {} unsafe, \
+             {} cfg, {} lock-site, {} lock-edge)",
             report.invariants.len(),
             report.hot_paths.len(),
-            report.unsafe_sites.len()
+            report.unsafe_sites.len(),
+            report.cfg_fns.len(),
+            report.lock_sites.len(),
+            report.lock_edges.len()
         );
         return ExitCode::SUCCESS;
     }
@@ -158,10 +190,22 @@ fn markers(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Reads the committed audit-runtime baseline: the first line of
+/// `audit-baseline.txt` that is neither blank nor a `#` comment,
+/// parsed as milliseconds.
+fn read_baseline_ms(root: &std::path::Path) -> Option<f64> {
+    let text = std::fs::read_to_string(root.join(xtask::BASELINE_FILE)).ok()?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse::<f64>().ok())
+}
+
 fn audit(args: &[String]) -> ExitCode {
     let mut fix_report: Option<String> = None;
     let mut root_arg: Option<String> = None;
     let mut show_warnings = false;
+    let mut enforce_runtime = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -180,6 +224,7 @@ fn audit(args: &[String]) -> ExitCode {
                 }
             },
             "--warnings" => show_warnings = true,
+            "--enforce-runtime" => enforce_runtime = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 usage();
@@ -210,6 +255,33 @@ fn audit(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
         eprintln!("wrote JSON report to {path}");
+    }
+    if enforce_runtime {
+        match read_baseline_ms(&root) {
+            Some(baseline) if report.total_ms > 2.0 * baseline => {
+                eprintln!(
+                    "audit-runtime: {:.0} ms exceeds 2x the committed baseline of \
+                     {baseline:.0} ms ({}) — the auditor regressed; profile the new \
+                     rule or refresh the baseline with a justification",
+                    report.total_ms,
+                    xtask::BASELINE_FILE
+                );
+                return ExitCode::FAILURE;
+            }
+            Some(baseline) => {
+                eprintln!(
+                    "audit-runtime: {:.0} ms within 2x baseline ({baseline:.0} ms)",
+                    report.total_ms
+                );
+            }
+            None => {
+                eprintln!(
+                    "audit-runtime: no parsable baseline in {} — commit one to enforce",
+                    xtask::BASELINE_FILE
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if report.failed() {
         ExitCode::FAILURE

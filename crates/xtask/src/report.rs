@@ -1,14 +1,18 @@
 //! Human and machine-readable audit reports.
 
 use crate::allowlist::AllowEntry;
-use crate::callgraph::CallGraphStats;
+use crate::callgraph::{CallGraphStats, LockEdge, LockSite};
+use crate::dataflow::CfgFnSummary;
 use crate::parser::{HotPathMarker, UnsafeSite};
 use crate::rules::{InvariantMarker, Violation};
 
 /// JSON report schema version. v2 added `hot_paths`, `callgraph`, and
 /// per-violation `chain` arrays; v3 added `unsafe_sites` (the workspace
-/// unsafe inventory behind the `unsafe-safety-comment` rule).
-pub const SCHEMA_VERSION: u32 = 3;
+/// unsafe inventory behind the `unsafe-safety-comment` rule); v4 added
+/// `cfg_fns` (per-function CFG summaries from the dataflow rules),
+/// `lock_graph` (acquisition sites and held-then-acquire edges), and
+/// `rule_timings_ms`/`total_ms` (per-rule wall time).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Complete result of one audit run.
 #[derive(Debug)]
@@ -32,6 +36,18 @@ pub struct AuditReport {
     pub hot_paths: Vec<HotPathMarker>,
     /// Call-graph summary counts.
     pub callgraph: CallGraphStats,
+    /// Per-function CFG summaries from the `olc-use-before-validate`
+    /// dataflow pass (one per analyzed fn).
+    pub cfg_fns: Vec<CfgFnSummary>,
+    /// Lock-acquisition sites in the lock-order graph.
+    pub lock_sites: Vec<LockSite>,
+    /// Held-then-acquire edges between lock classes.
+    pub lock_edges: Vec<LockEdge>,
+    /// Per-rule wall time in milliseconds, summed across files and
+    /// workers, sorted by rule name.
+    pub rule_timings_ms: Vec<(String, f64)>,
+    /// Total audit wall time in milliseconds.
+    pub total_ms: f64,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -92,7 +108,8 @@ impl AuditReport {
             out,
             "audit: {} file(s) scanned, {} fn(s) / {} call edge(s) in graph, {} error(s), \
              {} warning(s), {} allowlisted, {} invariant + {} hot-path marker(s) indexed, \
-             {} unsafe site(s) inventoried",
+             {} unsafe site(s) inventoried, {} cfg fn(s) analyzed, {} lock site(s) / \
+             {} lock edge(s), {:.1} ms",
             self.files_scanned,
             self.callgraph.functions,
             self.callgraph.edges,
@@ -101,7 +118,11 @@ impl AuditReport {
             self.suppressed.len(),
             self.invariants.len(),
             self.hot_paths.len(),
-            self.unsafe_sites.len()
+            self.unsafe_sites.len(),
+            self.cfg_fns.len(),
+            self.lock_sites.len(),
+            self.lock_edges.len(),
+            self.total_ms
         );
         out
     }
@@ -117,12 +138,74 @@ impl AuditReport {
         ));
         out.push_str(&format!(
             "  \"callgraph\": {{\"functions\": {}, \"edges\": {}, \"hot_roots\": {}, \
-             \"pub_roots\": {}}},\n",
+             \"pub_roots\": {}, \"lock_sites\": {}, \"lock_edges\": {}}},\n",
             self.callgraph.functions,
             self.callgraph.edges,
             self.callgraph.hot_roots,
-            self.callgraph.pub_roots
+            self.callgraph.pub_roots,
+            self.callgraph.lock_sites,
+            self.callgraph.lock_edges
         ));
+        out.push_str(&format!("  \"total_ms\": {:.3},\n", self.total_ms));
+        out.push_str("  \"rule_timings_ms\": {");
+        let items: Vec<String> = self
+            .rule_timings_ms
+            .iter()
+            .map(|(rule, ms)| format!("{}: {ms:.3}", json_str(rule)))
+            .collect();
+        out.push_str(&items.join(", "));
+        out.push_str("},\n  \"cfg_fns\": [\n");
+        let items: Vec<String> = self
+            .cfg_fns
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"path\": {}, \"line\": {}, \"fn\": {}, \"blocks\": {}, \
+                     \"guards\": {}}}",
+                    json_str(&c.path),
+                    c.line,
+                    json_str(&c.fn_name),
+                    c.blocks,
+                    c.guards
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n  ],\n  \"lock_graph\": {\n    \"sites\": [\n");
+        let items: Vec<String> = self
+            .lock_sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "      {{\"class\": {}, \"desc\": {}, \"path\": {}, \"line\": {}, \
+                     \"fn\": {}}}",
+                    json_str(&s.class),
+                    json_str(&s.desc),
+                    json_str(&s.path),
+                    s.line,
+                    json_str(&s.fn_qual)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n    ],\n    \"edges\": [\n");
+        let items: Vec<String> = self
+            .lock_edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "      {{\"from\": {}, \"to\": {}, \"path\": {}, \"line\": {}, \
+                     \"witness\": {}}}",
+                    json_str(&e.from),
+                    json_str(&e.to),
+                    json_str(&e.path),
+                    e.line,
+                    json_str(&e.witness)
+                )
+            })
+            .collect();
+        out.push_str(&items.join(",\n"));
+        out.push_str("\n    ]\n  },\n");
         out.push_str("  \"violations\": [\n");
         let items: Vec<String> = self
             .active
@@ -251,6 +334,11 @@ mod tests {
             unsafe_sites: Vec::new(),
             hot_paths: Vec::new(),
             callgraph: CallGraphStats::default(),
+            cfg_fns: Vec::new(),
+            lock_sites: Vec::new(),
+            lock_edges: Vec::new(),
+            rule_timings_ms: Vec::new(),
+            total_ms: 0.0,
             files_scanned: 0,
         };
         assert!(!report.failed());
@@ -301,12 +389,39 @@ mod tests {
             }],
             hot_paths: Vec::new(),
             callgraph: CallGraphStats::default(),
+            cfg_fns: vec![CfgFnSummary {
+                path: "crates/rtree/src/olc.rs".into(),
+                line: 129,
+                fn_name: "VersionCell::read_consistent".into(),
+                blocks: 7,
+                guards: 1,
+            }],
+            lock_sites: vec![LockSite {
+                class: "inner".into(),
+                desc: ".lock() on `inner`".into(),
+                path: "crates/obs/src/registry.rs".into(),
+                line: 43,
+                fn_qual: "Registry::with".into(),
+            }],
+            lock_edges: vec![LockEdge {
+                from: "a".into(),
+                to: "b".into(),
+                witness: "`f` acquires `a` then `b`".into(),
+                path: "x.rs".into(),
+                line: 2,
+            }],
+            rule_timings_ms: vec![("panic-free".into(), 1.25)],
+            total_ms: 10.5,
             files_scanned: 1,
         };
         let json = report.render_json();
         assert!(json.contains("\"rule\": \"float-eq\""));
         assert!(json.contains("\"unsafe_sites\""));
         assert!(json.contains("\"kind\": \"block\""));
+        assert!(json.contains("\"lock_graph\""));
+        assert!(json.contains("\"cfg_fns\""));
+        assert!(json.contains("\"rule_timings_ms\": {\"panic-free\": 1.250}"));
+        assert!(json.contains("\"from\": \"a\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

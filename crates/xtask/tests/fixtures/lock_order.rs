@@ -1,0 +1,22 @@
+//! Fixture for `lock-order`: three functions acquire the lock classes
+//! `a`, `b`, `c` in pairwise-conflicting orders — the third hop runs
+//! through a callee — forming the cycle a -> b -> c -> a.
+
+pub fn ab(s: &Shared) {
+    s.a.lock();
+    s.b.lock();
+}
+
+pub fn bc(s: &Shared) {
+    s.b.lock();
+    s.c.lock();
+}
+
+pub fn ca(s: &Shared) {
+    s.c.lock();
+    reacquire(s);
+}
+
+fn reacquire(s: &Shared) {
+    s.a.lock();
+}

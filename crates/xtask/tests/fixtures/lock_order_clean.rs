@@ -1,0 +1,13 @@
+//! Fixture for `lock-order` (negative): both functions acquire the
+//! same classes in one global order, so the lock graph has a single
+//! edge and no cycle.
+
+pub fn setup(s: &Shared) {
+    s.a.lock();
+    s.b.lock();
+}
+
+pub fn teardown(s: &Shared) {
+    s.a.lock();
+    s.b.lock();
+}

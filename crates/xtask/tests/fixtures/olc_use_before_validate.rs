@@ -1,0 +1,24 @@
+//! Fixture for `olc-use-before-validate`: a payload read taken under
+//! an optimistic-read guard escapes (is returned) without a dominating
+//! `validate()`; the correct validate-then-return shape is clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn torn_read(cell: &VersionCell, payload: &AtomicU64) -> Option<u64> {
+    let Some(guard) = cell.optimistic_read() else {
+        return None;
+    };
+    let value = payload.load(Ordering::Acquire);
+    Some(value)
+}
+
+pub fn validated_read(cell: &VersionCell, payload: &AtomicU64) -> Option<u64> {
+    let Some(guard) = cell.optimistic_read() else {
+        return None;
+    };
+    let value = payload.load(Ordering::Acquire);
+    if guard.validate() {
+        return Some(value);
+    }
+    None
+}

@@ -1,0 +1,24 @@
+//! Fixture for `retry-purity`: a closure passed to `read_consistent`
+//! that bumps a shared counter is flagged, as is a `// RETRY-SAFE:` fn
+//! that pushes through a `&mut` parameter; the pure closure and the
+//! pure marked fn are clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn impure_counter(cell: &VersionCell, hits: &AtomicU64) -> Option<u64> {
+    cell.read_consistent(3, || hits.fetch_add(1, Ordering::SeqCst))
+}
+
+pub fn pure_read(cell: &VersionCell, payload: &AtomicU64) -> Option<u64> {
+    cell.read_consistent(3, || payload.load(Ordering::Acquire))
+}
+
+// RETRY-SAFE: callers re-run this on validation failure.
+pub fn stash(out: &mut Vec<u64>, v: u64) {
+    out.push(v);
+}
+
+// RETRY-SAFE: pure decode of a version word.
+pub fn decode(word: u64) -> u64 {
+    word >> 1
+}
