@@ -1,0 +1,321 @@
+//! **Concurrent R\*-tree bench guard** — readers×writers throughput grid
+//! for the OLC read path ([`ConcurrentRTree`]), written to
+//! `BENCH_concurrent.json` so reader scaling and the single-thread
+//! overhead of the optimistic protocol are tracked over time.
+//!
+//! The grid runs every reader count in `{1, 2, 4, 8}`, each with 0 and
+//! 1 background writer churning inserts/removes outside the query
+//! windows; each cell is the minimum wall time over alternating passes.
+//! Guards (the binary exits non-zero when one fails):
+//!
+//! * **no single-thread regression** — one concurrent-tree reader keeps
+//!   at least [`MIN_SINGLE_RATIO`] of the sequential [`RTree`]'s
+//!   throughput;
+//! * **no collapse** — 8 readers retain at least [`MIN_NO_COLLAPSE`] of
+//!   the single-reader aggregate throughput on any machine;
+//! * **scaling** — on machines with ≥ 8 cores, 8 readers reach at least
+//!   [`MIN_SCALING_8R`]× the single-reader throughput. The floor is
+//!   core-count-aware because a 1-core container cannot scale by adding
+//!   threads; the applied floor is recorded in the JSON.
+//!
+//! ```text
+//! cargo run -p gprq-bench --release --bin concurrent \
+//!     [--n 50000] [--queries 400] [--passes 3] [--out BENCH_concurrent.json]
+//! cargo run -p gprq-bench --release --bin concurrent -- --check   # validate committed JSON
+//! ```
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use gprq_bench::Args;
+use gprq_linalg::Vector;
+use gprq_rtree::{ConcQueryScratch, ConcurrentRTree, RStarParams, RTree, Rect, SearchStats};
+use gprq_workloads::road_network_2d;
+
+/// Bump when the JSON layout changes; `--check` rejects older files.
+const SCHEMA: u64 = 1;
+
+/// Reader counts in the grid.
+const READERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scaling floor at 8 readers — applied only when the machine has at
+/// least 8 cores (ISSUE acceptance: ≥ 4× at 8 readers).
+const MIN_SCALING_8R: f64 = 4.0;
+
+/// No-collapse floor applied on ANY machine: 8 readers must retain this
+/// fraction of the single-reader aggregate throughput.
+const MIN_NO_COLLAPSE: f64 = 0.35;
+
+/// Single concurrent-tree reader vs the sequential tree: the seqlock
+/// capture/validate overhead costs roughly 5× on point-sized windows
+/// (measured 0.19 on the 1-core reference box); the floor catches a
+/// further regression, not the known protocol cost.
+const MIN_SINGLE_RATIO: f64 = 0.15;
+
+fn main() {
+    let args = Args::parse();
+    let out = args.get("out", String::from("BENCH_concurrent.json"));
+    if args.flag("check") {
+        check(&out);
+        return;
+    }
+
+    let n = args.get("n", 50_000usize);
+    let queries = args.get("queries", 400usize);
+    let passes = args.get("passes", 3usize).max(1);
+    let seed = args.get("seed", 42u64);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("Concurrent R*-tree bench: readers x writers throughput grid");
+    println!("{n} road-network points; {queries} queries/reader; {passes} passes; {cores} cores\n");
+
+    // Both trees insert-built from the same stream, so the comparison
+    // isolates the read-path protocol, not STR packing vs insertion.
+    let points = road_network_2d(n, seed);
+    let conc: ConcurrentRTree<2, u32> = ConcurrentRTree::new();
+    let mut seq = RTree::with_params(RStarParams::paper_default(2));
+    for (i, p) in points.iter().enumerate() {
+        let id = u32::try_from(i).unwrap_or(u32::MAX);
+        conc.insert(*p, id);
+        seq.insert(*p, id);
+    }
+    // Churn set for the writer thread, offset outside the data extent.
+    let churn: Vec<(Vector<2>, u32)> = points
+        .iter()
+        .take(2_000)
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                Vector::from([p[0] + 5_000.0, p[1] + 5_000.0]),
+                u32::try_from(i).unwrap_or(0).saturating_add(1_000_000),
+            )
+        })
+        .collect();
+    let windows = query_windows();
+
+    // Sequential baseline: one thread, same query mix.
+    let mut baseline_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let started = Instant::now();
+        let mut stats = SearchStats::default();
+        let mut hits = Vec::new();
+        let mut total = 0usize;
+        for q in 0..queries {
+            let rect = &windows[q % windows.len()];
+            seq.query_rect_into(rect, &mut stats, &mut hits);
+            total += hits.len();
+        }
+        baseline_secs = baseline_secs.min(started.elapsed().as_secs_f64());
+        assert!(total > 0, "degenerate workload: no hits");
+    }
+    let baseline_qps = queries as f64 / baseline_secs.max(f64::MIN_POSITIVE);
+
+    // The readers x writers grid over the concurrent tree.
+    let mut cells = Vec::new();
+    let mut contended_retries = 0usize;
+    let mut contended_fallbacks = 0usize;
+    for readers in READERS {
+        for writers in [0usize, 1] {
+            let mut best = f64::INFINITY;
+            let mut cell_stats = SearchStats::default();
+            for _ in 0..passes {
+                let (secs, stats) = run_cell(&conc, &windows, readers, writers, queries, &churn);
+                if secs < best {
+                    best = secs;
+                    cell_stats = stats;
+                }
+            }
+            let qps = (readers * queries) as f64 / best.max(f64::MIN_POSITIVE);
+            println!(
+                "readers={readers} writers={writers}: {best:.4} s, {qps:.0} q/s \
+                 (attempts {}, retries {}, fallbacks {})",
+                cell_stats.olc_attempts, cell_stats.olc_retries, cell_stats.olc_fallbacks
+            );
+            if writers == 1 {
+                contended_retries += cell_stats.olc_retries;
+                contended_fallbacks += cell_stats.olc_fallbacks;
+            }
+            cells.push((readers, writers, best, qps));
+        }
+    }
+
+    let qps_at = |r: usize, w: usize| {
+        cells
+            .iter()
+            .find(|(cr, cw, _, _)| *cr == r && *cw == w)
+            .map_or(0.0, |(_, _, _, qps)| *qps)
+    };
+    let single_qps = qps_at(1, 0);
+    let eight_qps = qps_at(8, 0);
+    let single_ratio = single_qps / baseline_qps.max(f64::MIN_POSITIVE);
+    let scaling_8r = eight_qps / single_qps.max(f64::MIN_POSITIVE);
+    // Core-count-aware floor: full scaling on >= 8 cores, otherwise only
+    // the no-collapse bound is enforceable.
+    let scaling_floor = if cores >= 8 {
+        MIN_SCALING_8R
+    } else {
+        MIN_NO_COLLAPSE
+    };
+
+    println!("\nsequential baseline: {baseline_qps:.0} q/s");
+    println!("concurrent single reader: {single_qps:.0} q/s (ratio {single_ratio:.2}, floor {MIN_SINGLE_RATIO})");
+    println!("8-reader scaling: {scaling_8r:.2}x (floor {scaling_floor}, cores {cores})");
+    println!("contended cells: {contended_retries} retries, {contended_fallbacks} fallbacks");
+
+    let cell_json: Vec<String> = cells
+        .iter()
+        .map(|(r, w, secs, qps)| {
+            format!(
+                "    {{ \"readers\": {r}, \"writers\": {w}, \"secs\": {secs:.6}, \"qps\": {qps:.1} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": {SCHEMA},\n  \"n\": {n},\n  \"queries_per_reader\": {queries},\n  \
+         \"passes\": {passes},\n  \"seed\": {seed},\n  \"cores\": {cores},\n  \
+         \"baseline_qps\": {baseline_qps:.1},\n  \"single_reader_qps\": {single_qps:.1},\n  \
+         \"single_ratio\": {single_ratio:.4},\n  \"min_single_ratio\": {MIN_SINGLE_RATIO},\n  \
+         \"scaling_8r\": {scaling_8r:.4},\n  \"scaling_floor\": {scaling_floor},\n  \
+         \"contended_retries\": {contended_retries},\n  \
+         \"contended_fallbacks\": {contended_fallbacks},\n  \"grid\": [\n{}\n  ]\n}}\n",
+        cell_json.join(",\n")
+    );
+    let mut file = std::fs::File::create(&out).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write output file");
+    println!("wrote {out}");
+
+    assert!(
+        single_ratio >= MIN_SINGLE_RATIO,
+        "concurrent tree too slow single-threaded: {single_ratio:.2} < {MIN_SINGLE_RATIO}"
+    );
+    assert!(
+        scaling_8r >= scaling_floor,
+        "8-reader scaling {scaling_8r:.2}x below floor {scaling_floor}x ({cores} cores)"
+    );
+}
+
+/// One grid cell: `readers` threads each run `queries` rectangle
+/// queries over the fixed window mix while `writers` background threads
+/// churn out-of-window inserts/removes. Returns (wall seconds, merged
+/// reader-side search stats).
+fn run_cell(
+    tree: &ConcurrentRTree<2, u32>,
+    windows: &[Rect<2>],
+    readers: usize,
+    writers: usize,
+    queries: usize,
+    churn: &[(Vector<2>, u32)],
+) -> (f64, SearchStats) {
+    let stop = AtomicBool::new(false);
+    let live_readers = AtomicUsize::new(readers);
+    let stop_ref = &stop;
+    let live_ref = &live_readers;
+    let mut reader_stats = vec![SearchStats::default(); readers];
+    let started = Instant::now();
+    // ORDERING: Relaxed — every `stop` access below is an advisory
+    // shutdown flag; no data is published through it (the scope join is
+    // the happens-before edge for all reader/writer results), and a
+    // stale read only costs one extra churn step.
+    std::thread::scope(|scope| {
+        for _ in 0..writers {
+            scope.spawn(move || {
+                // ORDERING: Relaxed — advisory shutdown flag, see above.
+                while !stop_ref.load(Ordering::Relaxed) {
+                    for (p, d) in churn {
+                        // ORDERING: Relaxed — advisory, as above.
+                        if stop_ref.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        tree.insert(*p, *d);
+                    }
+                    for (p, d) in churn {
+                        // ORDERING: Relaxed — advisory, as above.
+                        if stop_ref.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        tree.remove(p, d);
+                    }
+                }
+            });
+        }
+        for stats in &mut reader_stats {
+            scope.spawn(move || {
+                let mut scratch = ConcQueryScratch::new();
+                let mut hits = Vec::new();
+                for q in 0..queries {
+                    let rect = &windows[q % windows.len()];
+                    tree.query_rect_with_scratch(rect, stats, &mut scratch, &mut hits);
+                }
+                // Last reader out stops the churn writers; thread::scope
+                // then joins everything without a separate monitor.
+                if live_ref.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // ORDERING: Relaxed — advisory shutdown signal only;
+                    // the scope join publishes every result.
+                    stop_ref.store(true, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut merged = SearchStats::default();
+    for s in &reader_stats {
+        merged.merge(s);
+    }
+    (elapsed, merged)
+}
+
+/// A mix of query windows over the road-network extent: two hotspot
+/// windows (dense), one suburban (sparse), one wide scan.
+fn query_windows() -> Vec<Rect<2>> {
+    vec![
+        Rect::centered(&Vector::from([350.0, 420.0]), &Vector::from([40.0, 40.0])),
+        Rect::centered(&Vector::from([700.0, 650.0]), &Vector::from([40.0, 40.0])),
+        Rect::centered(&Vector::from([900.0, 100.0]), &Vector::from([60.0, 60.0])),
+        Rect::centered(&Vector::from([500.0, 500.0]), &Vector::from([150.0, 150.0])),
+    ]
+}
+
+/// Validates the committed `BENCH_concurrent.json`: present, current
+/// schema, and the recorded ratios at or above their recorded floors.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} missing — run the concurrent bench to regenerate: {e}"));
+    let schema = extract_number(&text, "\"schema\"")
+        .unwrap_or_else(|| panic!("{path} predates the schema field — regenerate"));
+    assert!(
+        (schema - SCHEMA as f64).abs() < f64::EPSILON,
+        "{path} has schema {schema}, expected {SCHEMA} — stale file, regenerate"
+    );
+    let single_ratio = extract_number(&text, "\"single_ratio\"")
+        .unwrap_or_else(|| panic!("{path} lacks single_ratio — regenerate"));
+    let min_single = extract_number(&text, "\"min_single_ratio\"")
+        .unwrap_or_else(|| panic!("{path} lacks min_single_ratio — regenerate"));
+    let scaling = extract_number(&text, "\"scaling_8r\"")
+        .unwrap_or_else(|| panic!("{path} lacks scaling_8r — regenerate"));
+    let floor = extract_number(&text, "\"scaling_floor\"")
+        .unwrap_or_else(|| panic!("{path} lacks scaling_floor — regenerate"));
+    assert!(
+        single_ratio >= min_single,
+        "{path} records single-thread ratio {single_ratio} < floor {min_single}"
+    );
+    assert!(
+        scaling >= floor,
+        "{path} records 8-reader scaling {scaling}x < floor {floor}x"
+    );
+    println!(
+        "{path}: schema {SCHEMA}, single ratio {single_ratio} >= {min_single}, \
+         scaling {scaling}x >= {floor}x"
+    );
+}
+
+/// Pulls the number following `"key":` out of the flat JSON file —
+/// enough parser for our own hand-rolled output.
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -25,7 +25,7 @@ use crate::strategy::StrategySet;
 use crate::theta_region::ThetaRegion;
 use crate::ucatalog::{BfCatalog, RrCatalog};
 use gprq_linalg::Vector;
-use gprq_rtree::{RTree, SearchStats};
+use gprq_rtree::{Phase1Index, SearchStats, OLC_DEPTH_BUCKETS};
 use std::time::{Duration, Instant};
 
 /// Statistics for one query execution.
@@ -79,6 +79,20 @@ pub struct QueryStats {
     pub cloud_cells_inside: usize,
     /// Cloud samples that ran the SoA distance kernel (boundary cells).
     pub cloud_samples_tested: usize,
+    /// Optimistic (OLC) node-read attempts in Phase 1. Zero for the
+    /// single-writer [`RTree`](gprq_rtree::RTree); the concurrent tree
+    /// counts one per capture/validate round.
+    pub olc_attempts: usize,
+    /// OLC attempts that failed validation (or found the node
+    /// write-locked) and were retried by the contention ladder.
+    pub olc_retries: usize,
+    /// Phase-1 traversals that exhausted the optimistic ladder and
+    /// degraded to the pessimistic (writer-excluding) fallback path.
+    pub olc_pessimistic_fallbacks: usize,
+    /// Log₂ histogram of per-node retry depth: bucket 0 counts
+    /// first-attempt validations, bucket `i ≥ 1` counts reads that
+    /// needed `2^(i−1) ≤ retries < 2^i` (last bucket saturates).
+    pub olc_retry_depth: [usize; OLC_DEPTH_BUCKETS],
     /// Phase-1 wall-clock time.
     pub phase1_time: Duration,
     /// Phase-2 wall-clock time.
@@ -113,6 +127,12 @@ impl QueryStats {
         self.cloud_cells_scanned += other.cloud_cells_scanned;
         self.cloud_cells_inside += other.cloud_cells_inside;
         self.cloud_samples_tested += other.cloud_samples_tested;
+        self.olc_attempts += other.olc_attempts;
+        self.olc_retries += other.olc_retries;
+        self.olc_pessimistic_fallbacks += other.olc_pessimistic_fallbacks;
+        for (mine, theirs) in self.olc_retry_depth.iter_mut().zip(other.olc_retry_depth) {
+            *mine += theirs;
+        }
         self.phase1_time += other.phase1_time;
         self.phase2_time += other.phase2_time;
         self.phase3_time += other.phase3_time;
@@ -251,20 +271,24 @@ impl<'c> PrqExecutor<'c> {
         self.strategies
     }
 
-    /// Executes the query against an R\*-tree of exact target objects.
+    /// Executes the query against a Phase-1 index of exact target
+    /// objects — the single-writer [`RTree`](gprq_rtree::RTree) or the
+    /// lock-free-read [`ConcurrentRTree`](gprq_rtree::ConcurrentRTree)
+    /// (any [`Phase1Index`]).
     ///
     /// # Errors
     ///
     /// * [`PrqError::NoPrimaryStrategy`] for an OR-only strategy set,
     /// * [`PrqError::ThetaRegionUndefined`] if RR or OR is enabled with
     ///   `θ ≥ 1/2` (BF-only sets still work there).
-    pub fn execute<'t, const D: usize, T, E>(
+    pub fn execute<'t, const D: usize, T, I, E>(
         &self,
-        tree: &'t RTree<D, T>,
+        tree: &'t I,
         query: &PrqQuery<D>,
         evaluator: &mut E,
     ) -> Result<PrqOutcome<'t, D, T>, PrqError>
     where
+        I: Phase1Index<D, T>,
         E: ProbabilityEvaluator<D>,
     {
         let mut scratch = QueryScratch::new();
@@ -279,14 +303,15 @@ impl<'c> PrqExecutor<'c> {
     /// Same failure modes as [`PrqExecutor::execute`], plus
     /// [`PrqError::CatalogDimensionMismatch`] when a configured BF
     /// catalog was built for a different dimension.
-    pub fn execute_with_scratch<'t, const D: usize, T, E>(
+    pub fn execute_with_scratch<'t, const D: usize, T, I, E>(
         &self,
-        tree: &'t RTree<D, T>,
+        tree: &'t I,
         query: &PrqQuery<D>,
         evaluator: &mut E,
         scratch: &mut QueryScratch<'t, D, T>,
     ) -> Result<PrqOutcome<'t, D, T>, PrqError>
     where
+        I: Phase1Index<D, T>,
         E: ProbabilityEvaluator<D>,
     {
         let mut stats = QueryStats::default();
@@ -327,14 +352,17 @@ impl<'c> PrqExecutor<'c> {
     /// Same preconditions as [`PrqExecutor::execute_with_scratch`]:
     /// [`PrqError::NoPrimaryStrategy`], [`PrqError::ThetaRegionUndefined`],
     /// or [`PrqError::CatalogDimensionMismatch`].
-    pub(crate) fn collect_candidates<'t, const D: usize, T>(
+    pub(crate) fn collect_candidates<'t, const D: usize, T, I>(
         &self,
-        tree: &'t RTree<D, T>,
+        tree: &'t I,
         query: &PrqQuery<D>,
         scratch: &mut QueryScratch<'t, D, T>,
         stats: &mut QueryStats,
         answers: &mut Vec<(&'t Vector<D>, &'t T)>,
-    ) -> Result<(), PrqError> {
+    ) -> Result<(), PrqError>
+    where
+        I: Phase1Index<D, T>,
+    {
         self.strategies.validate()?;
 
         // --- Preparation: build the enabled filters. -------------------
@@ -395,9 +423,13 @@ impl<'c> PrqExecutor<'c> {
         to_integrate.clear();
         if let Some(rect) = search_rect {
             let mut search_stats = SearchStats::default();
-            tree.query_rect_into(&rect, &mut search_stats, candidates);
+            tree.search_rect_into(&rect, &mut search_stats, candidates);
             stats.node_accesses = search_stats.nodes_visited;
             stats.leaf_hits = search_stats.entries_checked;
+            stats.olc_attempts = search_stats.olc_attempts;
+            stats.olc_retries = search_stats.olc_retries;
+            stats.olc_pessimistic_fallbacks = search_stats.olc_fallbacks;
+            stats.olc_retry_depth = search_stats.olc_retry_depth;
         }
         stats.phase1_candidates = candidates.len();
         stats.phase1_time = t0.elapsed();
@@ -451,7 +483,7 @@ mod tests {
     use super::*;
     use crate::evaluator::Quadrature2dEvaluator;
     use gprq_linalg::Matrix;
-    use gprq_rtree::RStarParams;
+    use gprq_rtree::{RStarParams, RTree};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -29,17 +29,25 @@ pub enum FaultSite {
     SampleStarvation,
     /// Σ degenerates to a singular matrix before admission.
     SigmaDegeneracy,
+    /// A conflict storm invalidates optimistic tree reads mid-descent:
+    /// every `n`-th node capture races an artificial version bump, so
+    /// the OLC retry ladder (and its pessimistic fallback) is forced
+    /// to absorb worst-case contention.
+    OlcConflict,
 }
 
 impl FaultSite {
     /// All sites, in a fixed order (used to derive per-site schedules
-    /// from a seed).
-    pub const ALL: [FaultSite; 5] = [
+    /// from a seed). `OlcConflict` sits last so seeds from before its
+    /// introduction still derive the same schedules for the first
+    /// five sites.
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::CatalogLookup,
         FaultSite::Phase1Traversal,
         FaultSite::Evaluator,
         FaultSite::SampleStarvation,
         FaultSite::SigmaDegeneracy,
+        FaultSite::OlcConflict,
     ];
 }
 
@@ -51,6 +59,7 @@ impl fmt::Display for FaultSite {
             FaultSite::Evaluator => write!(f, "evaluator"),
             FaultSite::SampleStarvation => write!(f, "sample-starvation"),
             FaultSite::SigmaDegeneracy => write!(f, "sigma-degeneracy"),
+            FaultSite::OlcConflict => write!(f, "olc-conflict"),
         }
     }
 }
@@ -96,6 +105,7 @@ pub struct FaultPlan {
     evaluator: SiteState,
     starvation: SiteState,
     sigma: SiteState,
+    olc_conflict: SiteState,
 }
 
 /// `splitmix64` — the standard seed expander; deterministic and cheap.
@@ -150,6 +160,7 @@ impl FaultPlan {
             FaultSite::Evaluator => self.evaluator.schedule,
             FaultSite::SampleStarvation => self.starvation.schedule,
             FaultSite::SigmaDegeneracy => self.sigma.schedule,
+            FaultSite::OlcConflict => self.olc_conflict.schedule,
         }
     }
 
@@ -161,6 +172,7 @@ impl FaultPlan {
             FaultSite::Evaluator => self.evaluator.hits,
             FaultSite::SampleStarvation => self.starvation.hits,
             FaultSite::SigmaDegeneracy => self.sigma.hits,
+            FaultSite::OlcConflict => self.olc_conflict.hits,
         }
     }
 
@@ -180,6 +192,7 @@ impl FaultPlan {
             FaultSite::Evaluator => &mut self.evaluator,
             FaultSite::SampleStarvation => &mut self.starvation,
             FaultSite::SigmaDegeneracy => &mut self.sigma,
+            FaultSite::OlcConflict => &mut self.olc_conflict,
         }
     }
 }
@@ -242,7 +255,8 @@ mod tests {
                 "phase1-traversal",
                 "evaluator",
                 "sample-starvation",
-                "sigma-degeneracy"
+                "sigma-degeneracy",
+                "olc-conflict"
             ]
         );
     }

@@ -77,6 +77,23 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records `n` identical observations at once — the batch form of
+    /// [`Histogram::record`], for flushes that already aggregated a
+    /// per-bucket tally (e.g. a per-query retry-depth histogram folded
+    /// into the pipeline-wide one). `n == 0` records nothing.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get(Self::bucket_index(value)) {
+            saturating_add(bucket, n);
+        }
+        saturating_add(&self.count, n);
+        saturating_add(&self.sum, value.saturating_mul(n));
+        // ORDERING: Relaxed — same commutative-max argument as `record`.
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Records a floating-point observation, sanitized instead of
     /// rejected: NaN and negative values clamp to `0`, `+∞` and values
     /// beyond `u64::MAX` saturate. Recording never panics on any input.

@@ -1,0 +1,1327 @@
+//! Concurrent R\*-tree with an optimistic-lock-coupling (OLC) read path
+//! and a contention-robustness ladder (ROADMAP item #1).
+//!
+//! [`ConcurrentRTree`] shares one index between many reader threads and
+//! concurrent writers. Readers traverse **without taking any lock**:
+//! every node carries a [`VersionCell`] seqlock, and a reader captures a
+//! node's payload speculatively, then validates the version
+//! ([`VersionCell::read_tracked`]). Writers serialize on an exclusive
+//! latch, take each touched node's version write lock, and bump the
+//! version on every structural change.
+//!
+//! # The contention ladder
+//!
+//! A reader that races a writer never spins forever; it descends a fixed
+//! ladder whose last rung cannot fail:
+//!
+//! 1. **Optimistic attempt** — capture + validate, free of atomic RMWs.
+//! 2. **Bounded per-node retries** — up to
+//!    [`ContentionLadder::node_attempts`] attempts per node, separated
+//!    by exponential backoff with deterministic seeded jitter
+//!    (distinguishing *contended* from *write-locked on arrival* via
+//!    [`ReadOutcome`] to pick the wait).
+//! 3. **Descent restart** — a dead node (split away under the reader's
+//!    feet) or an exhausted per-node budget restarts the whole query,
+//!    at most [`ContentionLadder::restart_budget`] times.
+//! 4. **Pessimistic fallback** — the reader takes the writer-excluding
+//!    latch in *shared* mode and re-runs the traversal. With writers
+//!    excluded, plain payload reads are consistent by construction, so
+//!    this rung always terminates with a correct result: readers are
+//!    starvation-free even under a 100 % conflict storm.
+//!
+//! # Why per-node validation suffices
+//!
+//! Nodes and records live in append-only stores whose slots are **never
+//! reused**, and every content move (a split) marks the source node
+//! *dead* inside the same version-locked write. A reader holding a
+//! stale child id therefore observes either the full pre-split contents
+//! (a consistent snapshot) or the dead flag (→ restart); it can never
+//! see a half-moved child list. Records are immutable once published,
+//! so validated references stay valid for the tree borrow's lifetime.
+//! The two-level split race is exhaustively model-checked under the
+//! loom shim (`tests/olc_model.rs`, feature `model-check`) and
+//! stress-checked under ThreadSanitizer (`tests/concurrent_props.rs`).
+//!
+//! ```
+//! use gprq_rtree::{ConcurrentRTree, Rect, SearchStats};
+//! use gprq_linalg::Vector;
+//!
+//! let tree: ConcurrentRTree<2, u32> = ConcurrentRTree::new();
+//! for i in 0..100u32 {
+//!     tree.insert(Vector::from([f64::from(i % 10), f64::from(i / 10)]), i);
+//! }
+//! let mut stats = SearchStats::default();
+//! let mut out = Vec::new();
+//! let rect = Rect::from_corners(&Vector::from([0.0, 0.0]), &Vector::from([3.0, 3.0]));
+//! tree.query_rect_into(&rect, &mut stats, &mut out);
+//! assert_eq!(out.len(), 16);
+//! assert!(stats.olc_attempts >= stats.nodes_visited);
+//! ```
+
+use crate::node::HasMbr;
+use crate::olc::{ReadOutcome, VersionCell, WriteGuard};
+use crate::params::RStarParams;
+use crate::query::{Phase1Index, SearchStats};
+use crate::rect::Rect;
+use crate::split::rstar_split;
+use gprq_linalg::Vector;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Upper bound on node fan-out: snapshots copy child ids into a
+/// fixed-size stack array so the hot capture helper never allocates.
+/// `RStarParams::paper_default` tops out at 42 entries (1 KB pages,
+/// `D = 1`), well under this cap.
+pub const MAX_FANOUT: usize = 64;
+
+/// Sentinel id for unused slots (never a valid store index).
+const NIL: usize = usize::MAX;
+
+/// First chunk size of the append-only stores; chunk `c` holds
+/// `STORE_BASE << c` slots, so capacity doubles per chunk.
+const STORE_BASE: usize = 64;
+
+/// Number of chunks: total capacity `STORE_BASE * (2^STORE_CHUNKS - 1)`
+/// (~1.8e16 slots) — unreachable in practice, and out-of-range ids
+/// simply resolve to `None`.
+const STORE_CHUNKS: usize = 48;
+
+/// Top bit of the node meta word: set when the node has been split away
+/// and must never be trusted by a reader.
+const DEAD_BIT: usize = 1 << (usize::BITS - 1);
+
+/// Low bits of the meta word: the live entry count.
+const COUNT_MASK: usize = DEAD_BIT - 1;
+
+/// `splitmix64` — the standard seed expander; deterministic and cheap.
+/// (Same algorithm as `gprq_core::fault`; duplicated to keep the crates
+/// dependency-free of each other.)
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Tuning for the reader-side contention-robustness ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionLadder {
+    /// Optimistic attempts per node before the descent restarts
+    /// (minimum 1; each failed attempt backs off before the next).
+    pub node_attempts: usize,
+    /// Whole-descent restarts before the reader escalates to the
+    /// pessimistic shared-latch path (0 = escalate on first restart).
+    pub restart_budget: usize,
+    /// Seed for the deterministic backoff jitter; two readers with
+    /// different salts de-synchronize instead of stampeding in
+    /// lock-step.
+    pub backoff_seed: u64,
+}
+
+impl Default for ContentionLadder {
+    fn default() -> Self {
+        ContentionLadder {
+            node_attempts: 4,
+            restart_budget: 8,
+            backoff_seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl ContentionLadder {
+    /// Spins for `2^min(attempt, 6)` iterations plus a deterministic
+    /// jitter derived from the seed and `salt`, so retry storms
+    /// de-correlate without any shared RNG state.
+    fn backoff(&self, attempt: usize, salt: usize) {
+        let exp = attempt.min(6);
+        let mut state = self.backoff_seed
+            ^ u64::try_from(salt)
+                .unwrap_or(0)
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ u64::try_from(attempt).unwrap_or(0);
+        let jitter = usize::try_from(splitmix64(&mut state) & 0xF).unwrap_or(0);
+        for _ in 0..(1_usize << exp).saturating_add(jitter) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Append-only chunked slot store: `push` under the writer latch,
+/// lock-free `get` from any thread. Slots are never reused or moved, so
+/// a published `&V` stays valid for the store's lifetime — the property
+/// the per-node validation argument rests on (module docs).
+struct SlotStore<V> {
+    /// Lazily initialized doubling chunks; the outer `Vec` is sized once
+    /// at construction and never resized, so `&self` access is safe.
+    chunks: Vec<OnceLock<Box<[OnceLock<V>]>>>,
+    len: AtomicUsize,
+}
+
+impl<V> SlotStore<V> {
+    fn new() -> Self {
+        SlotStore {
+            chunks: (0..STORE_CHUNKS).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maps a slot id to `(chunk index, offset within chunk)`.
+    /// Out-of-range ids (e.g. the `NIL` sentinel) map to a chunk index
+    /// past `STORE_CHUNKS`, which `get` resolves to `None`.
+    fn locate(id: usize) -> (usize, usize) {
+        let q = id / STORE_BASE + 1;
+        let c = usize::try_from(usize::BITS - 1 - q.leading_zeros()).unwrap_or(0);
+        let chunk_start = STORE_BASE * ((1_usize << c) - 1);
+        (c, id - chunk_start)
+    }
+
+    fn len(&self) -> usize {
+        // ORDERING: Acquire pairs with the Release store in `publish`, so
+        // thread that observes the new length also observes the slot.
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Appends a value and returns its id. Caller must hold the writer
+    /// latch (single pusher); concurrent `get`s are safe throughout.
+    fn publish(&self, value: V) -> usize {
+        // ORDERING: Relaxed — the writer latch serializes all pushes, so
+        // no other thread advances `len`; the Release store below is the
+        // publication point.
+        let id = self.len.load(Ordering::Relaxed);
+        let (c, off) = Self::locate(id);
+        if let Some(chunk_cell) = self.chunks.get(c) {
+            let chunk = chunk_cell.get_or_init(|| {
+                (0..STORE_BASE << c)
+                    .map(|_| OnceLock::new())
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            });
+            if let Some(slot) = chunk.get(off) {
+                let displaced = slot.set(value);
+                debug_assert!(displaced.is_ok(), "slot store ids are never reused");
+            }
+        }
+        // ORDERING: Release publishes the slot write to readers that
+        // load `len` with Acquire.
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+
+    /// Lock-free lookup; `None` for never-assigned ids (including the
+    /// `NIL` sentinel).
+    fn get(&self, id: usize) -> Option<&V> {
+        let (c, off) = Self::locate(id);
+        self.chunks.get(c)?.get()?.get(off)?.get()
+    }
+}
+
+/// A tree node with all shared-mutable payload held in atomics, guarded
+/// by a per-node seqlock. Writers mutate only while holding
+/// `version.write_lock()` (plus the tree's exclusive latch); readers
+/// either validate through the seqlock or hold the latch shared.
+struct ConcNode<const D: usize> {
+    /// Subtree height (0 = leaf). Immutable after construction.
+    level: usize,
+    /// Seqlock guarding `meta`, `slots`, and `mbr`.
+    version: VersionCell,
+    /// Entry count in the low bits, [`DEAD_BIT`] in the top bit.
+    meta: AtomicUsize,
+    /// Child node ids (inner nodes) or record ids (leaves); `NIL` when
+    /// unused. Fixed capacity `params.max_entries`.
+    slots: Box<[AtomicUsize]>,
+    /// The node's own MBR as `f64` bit patterns: `lo[0..D]`, `hi[0..D]`.
+    mbr: Box<[AtomicU64]>,
+}
+
+impl<const D: usize> ConcNode<D> {
+    fn new(level: usize, capacity: usize) -> Self {
+        ConcNode {
+            level,
+            version: VersionCell::new(),
+            meta: AtomicUsize::new(0),
+            slots: (0..capacity).map(|_| AtomicUsize::new(NIL)).collect(),
+            mbr: (0..2 * D).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// `(count, dead)` from one meta load.
+    fn plain_meta(&self) -> (usize, bool) {
+        // ORDERING: Relaxed — callers either hold the writer latch (sole
+        // payload mutator) or revalidate through the seqlock afterwards.
+        let m = self.meta.load(Ordering::Relaxed);
+        (m & COUNT_MASK, m & DEAD_BIT != 0)
+    }
+
+    /// Stores count + dead flag. Caller holds the node write lock (or
+    /// the node is not yet published).
+    fn store_meta(&self, count: usize, dead: bool) {
+        let m = (count & COUNT_MASK) | if dead { DEAD_BIT } else { 0 };
+        // ORDERING: Relaxed — the seqlock release bump (or the store's
+        // publication) orders this store for readers.
+        self.meta.store(m, Ordering::Relaxed);
+    }
+
+    fn slot(&self, i: usize) -> usize {
+        // ORDERING: Relaxed — guarded by the seqlock / writer latch like
+        // every other payload word.
+        self.slots.get(i).map_or(NIL, |s| s.load(Ordering::Relaxed))
+    }
+
+    fn set_slot(&self, i: usize, value: usize) {
+        if let Some(s) = self.slots.get(i) {
+            // ORDERING: Relaxed — payload word under the seqlock; the
+            // release bump publishes.
+            s.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the node's MBR from its atomic bit-pattern words.
+    fn load_mbr(&self) -> Rect<D> {
+        // ORDERING: Relaxed payload loads — ordered by the surrounding
+        // seqlock validation or the writer latch; a torn read is
+        // discarded by a failed validation.
+        let lo = Vector::from_fn(|i| {
+            f64::from_bits(self.mbr.get(i).map_or(0, |w| w.load(Ordering::Relaxed)))
+        });
+        let hi = Vector::from_fn(|i| {
+            f64::from_bits(self.mbr.get(D + i).map_or(0, |w| w.load(Ordering::Relaxed)))
+        });
+        Rect { lo, hi }
+    }
+
+    /// Stores the node's MBR. Caller holds the node write lock (or the
+    /// node is not yet published).
+    fn store_mbr(&self, rect: &Rect<D>) {
+        let words = rect.lo.as_slice().iter().chain(rect.hi.as_slice().iter());
+        for (w, v) in self.mbr.iter().zip(words) {
+            // ORDERING: Relaxed — payload word under the seqlock; the
+            // release bump publishes.
+            w.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A validated (or about-to-be-validated) copy of one node's payload.
+/// Fixed-size and stack-only so capturing never allocates.
+#[derive(Clone, Copy)]
+struct NodeSnapshot<const D: usize> {
+    level: usize,
+    count: usize,
+    dead: bool,
+    mbr: Rect<D>,
+    slots: [usize; MAX_FANOUT],
+}
+
+impl<const D: usize> NodeSnapshot<D> {
+    fn slot_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().take(self.count).copied()
+    }
+}
+
+/// Copies a node's payload words. Consistency is the *caller's*
+/// responsibility: either validate through the node's seqlock
+/// afterwards, or hold the writer-excluding latch.
+// HOT-PATH: runs once per node per optimistic attempt; must stay
+// allocation- and lock-free.
+fn capture<const D: usize>(node: &ConcNode<D>) -> NodeSnapshot<D> {
+    let (count, dead) = node.plain_meta();
+    let count = count.min(MAX_FANOUT);
+    let mut slots = [NIL; MAX_FANOUT];
+    for (i, dst) in slots.iter_mut().enumerate().take(count) {
+        *dst = node.slot(i);
+    }
+    NodeSnapshot {
+        level: node.level,
+        count,
+        dead,
+        mbr: node.load_mbr(),
+        slots,
+    }
+}
+
+/// The descent observed a dead node or exhausted a per-node attempt
+/// budget; the whole query restarts (rung 3 of the ladder).
+struct Interrupted;
+
+/// Deterministic version-conflict injector (the `fault-inject` cargo
+/// feature): every `every_nth`-th payload capture bumps the captured
+/// node's version so the subsequent validation fails — an artificial
+/// "conflict storm" that drives readers down the whole ladder.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Default)]
+struct ConflictStorm {
+    /// Invalidate every n-th capture (0 = off).
+    every_nth: AtomicUsize,
+    /// Captures consulted so far.
+    hits: AtomicUsize,
+    /// Version bumps actually injected.
+    injected: AtomicUsize,
+}
+
+#[cfg(feature = "fault-inject")]
+impl ConflictStorm {
+    fn maybe_invalidate<const D: usize>(&self, node: &ConcNode<D>) {
+        // ORDERING: Relaxed — configuration word, set before the storm
+        // run starts; exactness of the cross-thread schedule is not
+        // required, only that bumps happen at the configured rate.
+        let n = self.every_nth.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        // ORDERING: Relaxed — statistics counter.
+        let hit = self.hits.fetch_add(1, Ordering::Relaxed);
+        if (hit + 1) % n == 0 {
+            // Bump the version mid-read: lock + immediate unlock moves
+            // it two past the reader's snapshot, failing validation. A
+            // failed write_lock means a real writer (or another storm
+            // bump) already holds the node — contention exists anyway.
+            if let Some(guard) = node.version.write_lock() {
+                // ORDERING: Relaxed — statistics counter.
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                drop(guard);
+            }
+        }
+    }
+}
+
+/// A concurrent R\*-tree: shared-reader OLC traversal with the
+/// contention ladder (module docs), writers serialized on an exclusive
+/// latch.
+///
+/// Compared to [`RTree`](crate::RTree), insertion descends by minimum
+/// MBR enlargement and splits with the same R\* margin/overlap
+/// heuristics, but skips forced reinsertion (a reinsert would move
+/// entries through transient states readers could observe — splits keep
+/// every intermediate state consistent). Deletion leaves empty leaves
+/// in place instead of condensing the tree. Both divergences affect
+/// only tree shape, never query results.
+pub struct ConcurrentRTree<const D: usize, T> {
+    params: RStarParams,
+    ladder: ContentionLadder,
+    /// Writer-excluding latch: writers hold it exclusively (serializing
+    /// all structural mutation), pessimistic readers hold it shared.
+    /// Optimistic readers never touch it.
+    latch: RwLock<()>,
+    /// Current root node id; swapped (under the exclusive latch) only
+    /// when the root splits.
+    root: AtomicUsize,
+    nodes: SlotStore<ConcNode<D>>,
+    records: SlotStore<(Vector<D>, T)>,
+    len: AtomicUsize,
+    #[cfg(feature = "fault-inject")]
+    storm: ConflictStorm,
+}
+
+/// Leaf- or child-level split input: a store id plus its bounding rect,
+/// so `rstar_split` runs unchanged over the concurrent layout.
+struct SplitItem<const D: usize> {
+    id: usize,
+    rect: Rect<D>,
+}
+
+impl<const D: usize> HasMbr<D> for SplitItem<D> {
+    fn item_mbr(&self) -> Rect<D> {
+        self.rect
+    }
+}
+
+impl<const D: usize, T> ConcurrentRTree<D, T> {
+    /// An empty tree with the paper's page-derived parameters and the
+    /// default contention ladder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_params(RStarParams::paper_default(D), ContentionLadder::default())
+    }
+
+    /// An empty tree with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.max_entries` exceeds [`MAX_FANOUT`] (node
+    /// snapshots are fixed-size stack arrays).
+    #[must_use]
+    pub fn with_params(params: RStarParams, ladder: ContentionLadder) -> Self {
+        assert!(
+            params.max_entries <= MAX_FANOUT,
+            "max_entries {} exceeds MAX_FANOUT {}",
+            params.max_entries,
+            MAX_FANOUT
+        );
+        let nodes = SlotStore::new();
+        let root = nodes.publish(ConcNode::new(0, params.max_entries));
+        ConcurrentRTree {
+            params,
+            ladder,
+            latch: RwLock::new(()),
+            root: AtomicUsize::new(root),
+            nodes,
+            records: SlotStore::new(),
+            len: AtomicUsize::new(0),
+            #[cfg(feature = "fault-inject")]
+            storm: ConflictStorm::default(),
+        }
+    }
+
+    /// Number of records currently in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        // ORDERING: Acquire pairs with the Release store in
+        // `insert`/`remove`.
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The construction parameters.
+    #[must_use]
+    pub fn params(&self) -> &RStarParams {
+        &self.params
+    }
+
+    /// The reader contention-ladder tuning.
+    #[must_use]
+    pub fn ladder(&self) -> &ContentionLadder {
+        &self.ladder
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (the ladder)
+    // ------------------------------------------------------------------
+
+    /// Returns all records whose points lie in `rect` (boundary
+    /// inclusive). Safe to call from any number of threads concurrently
+    /// with writers.
+    #[must_use]
+    pub fn query_rect(&self, rect: &Rect<D>) -> Vec<(&Vector<D>, &T)> {
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        self.query_rect_into(rect, &mut stats, &mut out);
+        out
+    }
+
+    /// Buffer-reusing rectangle query: clears `out`, then appends every
+    /// matching record. Allocates a fresh traversal stack; batch callers
+    /// should prefer [`ConcurrentRTree::query_rect_with_scratch`].
+    pub fn query_rect_into<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        let mut scratch = ConcQueryScratch::new();
+        self.query_rect_with_scratch(rect, stats, &mut scratch, out);
+    }
+
+    /// Rectangle query over caller-owned scratch: the traversal stack is
+    /// reused across queries, so a batch driver allocates it once.
+    ///
+    /// Runs the full contention ladder: bounded optimistic attempts per
+    /// node, backoff with seeded jitter, whole-descent restarts, and
+    /// finally the pessimistic shared-latch path — so this returns a
+    /// correct result set under any amount of writer contention.
+    pub fn query_rect_with_scratch<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        scratch: &mut ConcQueryScratch,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        for restart in 0..=self.ladder.restart_budget {
+            match self.try_collect(rect, stats, &mut scratch.stack, out) {
+                Ok(()) => return,
+                Err(Interrupted) => self.ladder.backoff(restart, 0x5EED),
+            }
+        }
+        // Rung 4: writers excluded, plain reads, cannot fail.
+        stats.olc_fallbacks = stats.olc_fallbacks.saturating_add(1);
+        let shared = lock_shared(&self.latch);
+        self.collect_pessimistic(rect, stats, &mut scratch.stack, out);
+        drop(shared);
+    }
+
+    /// One optimistic descent. Fails (whole-descent restart) on a dead
+    /// node or an exhausted per-node attempt budget.
+    fn try_collect<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) -> Result<(), Interrupted> {
+        out.clear();
+        stack.clear();
+        // ORDERING: Acquire pairs with the Release root swap in
+        // `grow_root`, so the new root's initialization is visible.
+        stack.push(self.root.load(Ordering::Acquire));
+        while let Some(id) = stack.pop() {
+            let Some(node) = self.nodes.get(id) else {
+                return Err(Interrupted);
+            };
+            let snap = self.read_node(node, id, stats)?;
+            if snap.dead {
+                return Err(Interrupted);
+            }
+            self.visit_snapshot(&snap, rect, stats, stack, out);
+        }
+        Ok(())
+    }
+
+    /// Rung 4: the same traversal under the shared latch with plain
+    /// (unvalidated) captures. Writers hold the latch exclusively for
+    /// every payload write, so captures here are consistent by
+    /// construction; concurrent *storm* bumps touch only version words,
+    /// never payload, and are irrelevant to this path.
+    fn collect_pessimistic<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        out.clear();
+        stack.clear();
+        // ORDERING: Acquire pairs with the Release root swap in
+        // `grow_root`.
+        stack.push(self.root.load(Ordering::Acquire));
+        while let Some(id) = stack.pop() {
+            let Some(node) = self.nodes.get(id) else {
+                continue;
+            };
+            let snap = capture(node);
+            self.visit_snapshot(&snap, rect, stats, stack, out);
+        }
+    }
+
+    /// Shared per-node visit logic: MBR filter, then either test leaf
+    /// records or push children.
+    fn visit_snapshot<'t>(
+        &'t self,
+        snap: &NodeSnapshot<D>,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        stats.nodes_visited = stats.nodes_visited.saturating_add(1);
+        if snap.count == 0 || !rect.intersects(&snap.mbr) {
+            return;
+        }
+        if snap.level == 0 {
+            for rid in snap.slot_ids() {
+                stats.entries_checked = stats.entries_checked.saturating_add(1);
+                if let Some((point, data)) = self.records.get(rid) {
+                    if rect.contains_point(point) {
+                        stats.results = stats.results.saturating_add(1);
+                        out.push((point, data));
+                    }
+                }
+            }
+        } else {
+            for cid in snap.slot_ids() {
+                stack.push(cid);
+            }
+        }
+    }
+
+    /// Rungs 1–2: bounded validated reads of one node, with backoff
+    /// between attempts. [`ReadOutcome::LockedOnArrival`] (a writer held
+    /// the node before we even speculated) waits longer than
+    /// [`ReadOutcome::Contended`] (our speculative read was torn), since
+    /// the former means a structural change is in flight.
+    fn read_node(
+        &self,
+        node: &ConcNode<D>,
+        salt: usize,
+        stats: &mut SearchStats,
+    ) -> Result<NodeSnapshot<D>, Interrupted> {
+        for attempt in 0..self.ladder.node_attempts.max(1) {
+            stats.olc_attempts = stats.olc_attempts.saturating_add(1);
+            match node.version.read_tracked(0, || self.snapshot_payload(node)) {
+                ReadOutcome::Validated { value, .. } => {
+                    stats.record_olc_depth(attempt);
+                    return Ok(value);
+                }
+                ReadOutcome::Contended { .. } => {
+                    stats.olc_retries = stats.olc_retries.saturating_add(1);
+                    self.ladder.backoff(attempt, salt);
+                }
+                ReadOutcome::LockedOnArrival { .. } => {
+                    stats.olc_retries = stats.olc_retries.saturating_add(1);
+                    self.ladder.backoff(attempt.saturating_add(2), salt);
+                }
+            }
+        }
+        Err(Interrupted)
+    }
+
+    /// The speculative payload read passed to
+    /// [`VersionCell::read_tracked`]: pure capture, plus the
+    /// fault-injected version bump when a conflict storm is configured.
+    // HOT-PATH: one call per optimistic attempt; allocation- and
+    // lock-free (the storm's `write_lock` is a non-blocking CAS).
+    fn snapshot_payload(&self, node: &ConcNode<D>) -> NodeSnapshot<D> {
+        #[cfg(feature = "fault-inject")]
+        self.storm.maybe_invalidate(node);
+        capture(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Inserts a record. Writers serialize on the exclusive latch;
+    /// readers keep running optimistically throughout.
+    pub fn insert(&self, point: Vector<D>, data: T) {
+        let exclusive = lock_exclusive(&self.latch);
+        let rid = self.records.publish((point, data));
+        let Some((point, _)) = self.records.get(rid) else {
+            return;
+        };
+        // ORDERING: Relaxed — root swaps happen only under the latch we
+        // hold.
+        let root_id = self.root.load(Ordering::Relaxed);
+        if let Some((left, right)) = self.insert_rec(root_id, point, rid) {
+            self.grow_root(left, right);
+        }
+        // ORDERING: Release pairs with the Acquire load in `len`.
+        self.len
+            .store(self.len.load(Ordering::Relaxed) + 1, Ordering::Release);
+        drop(exclusive);
+    }
+
+    /// Removes one record matching `point` and `data` exactly (`f64`
+    /// bit-for-bit via `==`, like [`RTree::remove`](crate::RTree::remove)).
+    /// Returns whether a record was removed. Empty leaves are left in
+    /// place (readers skip zero-count nodes); the tree is not condensed.
+    pub fn remove(&self, point: &Vector<D>, data: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let exclusive = lock_exclusive(&self.latch);
+        // ORDERING: Relaxed — root swaps happen only under the latch we
+        // hold.
+        let root_id = self.root.load(Ordering::Relaxed);
+        let removed = self.remove_rec(root_id, point, data);
+        if removed {
+            // ORDERING: Release pairs with the Acquire load in `len`;
+            // the Relaxed load is safe because only latch holders write.
+            self.len.store(
+                self.len.load(Ordering::Relaxed).saturating_sub(1),
+                Ordering::Release,
+            );
+        }
+        drop(exclusive);
+        removed
+    }
+
+    /// Recursive insert descent. Returns `Some((left, right))` when the
+    /// visited node split: the node is now dead and the parent must
+    /// replace it with the two fresh nodes.
+    fn insert_rec(&self, id: usize, point: &Vector<D>, rid: usize) -> Option<(usize, usize)> {
+        let Some(node) = self.nodes.get(id) else {
+            debug_assert!(false, "insert descended to a missing node");
+            return None;
+        };
+        let (count, _) = node.plain_meta();
+        if node.level == 0 {
+            if count < self.params.max_entries {
+                let guard = self.acquire_node(node);
+                node.set_slot(count, rid);
+                let mut mbr = if count == 0 {
+                    Rect::from_point(point)
+                } else {
+                    node.load_mbr()
+                };
+                mbr.extend_point(point);
+                node.store_mbr(&mbr);
+                node.store_meta(count + 1, false);
+                drop(guard);
+                return None;
+            }
+            // Leaf overflow: split count + 1 records into two fresh
+            // leaves; the old leaf dies.
+            let mut items = Vec::with_capacity(count + 1);
+            for s in node.slots.iter().take(count) {
+                // ORDERING: Relaxed — we hold the writer latch.
+                let existing = s.load(Ordering::Relaxed);
+                if let Some((p, _)) = self.records.get(existing) {
+                    items.push(SplitItem {
+                        id: existing,
+                        rect: Rect::from_point(p),
+                    });
+                }
+            }
+            items.push(SplitItem {
+                id: rid,
+                rect: Rect::from_point(point),
+            });
+            let split = rstar_split(items, self.params.min_entries);
+            let left = self.new_node_from(0, &split.left);
+            let right = self.new_node_from(0, &split.right);
+            self.kill_node(node);
+            return Some((left, right));
+        }
+
+        // Inner node: descend into the least-enlarged child.
+        let Some(target) = self.choose_child(node, count, point) else {
+            debug_assert!(false, "inner node with no live children");
+            return None;
+        };
+        let child_split = self.insert_rec(target, point, rid);
+        let Some((left, right)) = child_split else {
+            // Child absorbed the record: just widen our MBR.
+            let guard = self.acquire_node(node);
+            let mut mbr = node.load_mbr();
+            mbr.extend_point(point);
+            node.store_mbr(&mbr);
+            drop(guard);
+            return None;
+        };
+        if count < self.params.max_entries {
+            // Replace the dead child with `left`, append `right`, and
+            // recompute the MBR — all in one version-locked write, so a
+            // reader sees the pre-update child list (and restarts at the
+            // dead child) or the complete post-update list, never a mix.
+            let guard = self.acquire_node(node);
+            for s in node.slots.iter().take(count) {
+                // ORDERING: Relaxed — node write lock + writer latch held.
+                if s.load(Ordering::Relaxed) == target {
+                    s.store(left, Ordering::Relaxed);
+                }
+            }
+            node.set_slot(count, right);
+            node.store_meta(count + 1, false);
+            if let Some(mbr) = self.children_union(node, count + 1) {
+                node.store_mbr(&mbr);
+            }
+            drop(guard);
+            return None;
+        }
+        // Inner overflow: rebuild the child list with the replacement
+        // pair, split it, and die.
+        let mut items = Vec::with_capacity(count + 1);
+        for s in node.slots.iter().take(count) {
+            // ORDERING: Relaxed — we hold the writer latch.
+            let cid = s.load(Ordering::Relaxed);
+            let cid = if cid == target { left } else { cid };
+            if let Some(child) = self.nodes.get(cid) {
+                items.push(SplitItem {
+                    id: cid,
+                    rect: child.load_mbr(),
+                });
+            }
+        }
+        if let Some(child) = self.nodes.get(right) {
+            items.push(SplitItem {
+                id: right,
+                rect: child.load_mbr(),
+            });
+        }
+        let split = rstar_split(items, self.params.min_entries);
+        let a = self.new_node_from(node.level, &split.left);
+        let b = self.new_node_from(node.level, &split.right);
+        self.kill_node(node);
+        Some((a, b))
+    }
+
+    /// Recursive remove descent; `true` once a record was removed.
+    fn remove_rec(&self, id: usize, point: &Vector<D>, data: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some(node) = self.nodes.get(id) else {
+            return false;
+        };
+        let (count, _) = node.plain_meta();
+        if count == 0 || !node.load_mbr().contains_point(point) {
+            return false;
+        }
+        if node.level == 0 {
+            let mut found = None;
+            for (i, s) in node.slots.iter().take(count).enumerate() {
+                // ORDERING: Relaxed — we hold the writer latch.
+                let rid = s.load(Ordering::Relaxed);
+                if let Some((p, d)) = self.records.get(rid) {
+                    if p == point && d == data {
+                        found = Some(i);
+                        break;
+                    }
+                }
+            }
+            let Some(idx) = found else {
+                return false;
+            };
+            let guard = self.acquire_node(node);
+            let last = node.slot(count - 1);
+            node.set_slot(idx, last);
+            node.set_slot(count - 1, NIL);
+            node.store_meta(count - 1, false);
+            if let Some(mbr) = self.leaf_union(node, count - 1) {
+                node.store_mbr(&mbr);
+            }
+            drop(guard);
+            return true;
+        }
+        for s in node.slots.iter().take(count) {
+            // ORDERING: Relaxed — we hold the writer latch.
+            let cid = s.load(Ordering::Relaxed);
+            if self.remove_rec(cid, point, data) {
+                let guard = self.acquire_node(node);
+                if let Some(mbr) = self.children_union(node, count) {
+                    node.store_mbr(&mbr);
+                }
+                drop(guard);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Builds, publishes, and links a fresh node from split output.
+    /// The node is fully initialized *before* it becomes reachable, so
+    /// readers never see a partial node.
+    fn new_node_from(&self, level: usize, items: &[SplitItem<D>]) -> usize {
+        let node = ConcNode::new(level, self.params.max_entries);
+        let mut mbr: Option<Rect<D>> = None;
+        for (i, item) in items.iter().enumerate() {
+            node.set_slot(i, item.id);
+            mbr = Some(match mbr {
+                None => item.rect,
+                Some(acc) => acc.union(&item.rect),
+            });
+        }
+        if let Some(mbr) = mbr {
+            node.store_mbr(&mbr);
+        }
+        node.store_meta(items.len(), false);
+        self.nodes.publish(node)
+    }
+
+    /// Marks a node dead (split away) under its write lock; the version
+    /// bump makes every in-flight optimistic capture of it invalid, and
+    /// later readers restart on the flag.
+    fn kill_node(&self, node: &ConcNode<D>) {
+        let guard = self.acquire_node(node);
+        node.store_meta(0, true);
+        drop(guard);
+    }
+
+    /// Installs a new root over the split halves of the old one.
+    fn grow_root(&self, left: usize, right: usize) {
+        let level = self.nodes.get(left).map_or(0, |n| n.level) + 1;
+        let node = ConcNode::new(level, self.params.max_entries);
+        node.set_slot(0, left);
+        node.set_slot(1, right);
+        let left_mbr = self.nodes.get(left).map(ConcNode::load_mbr);
+        let right_mbr = self.nodes.get(right).map(ConcNode::load_mbr);
+        if let (Some(a), Some(b)) = (left_mbr, right_mbr) {
+            node.store_mbr(&a.union(&b));
+        }
+        node.store_meta(2, false);
+        let id = self.nodes.publish(node);
+        // ORDERING: Release pairs with the Acquire root load in the
+        // traversals: a reader that sees the new id sees its payload.
+        self.root.store(id, Ordering::Release);
+    }
+
+    /// Acquires a node's version write lock, spinning out concurrent
+    /// storm bumps (the only other write-lockers; real writers are
+    /// serialized by the latch, so this terminates promptly).
+    fn acquire_node<'a>(&self, node: &'a ConcNode<D>) -> WriteGuard<'a> {
+        loop {
+            if let Some(guard) = node.version.write_lock() {
+                return guard;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Least-enlargement child choice (ties: smaller area), reading
+    /// child MBRs directly — the writer holds the latch, so they are
+    /// stable.
+    fn choose_child(&self, node: &ConcNode<D>, count: usize, point: &Vector<D>) -> Option<usize> {
+        let prect = Rect::from_point(point);
+        let mut best: Option<(usize, f64, f64)> = None;
+        for s in node.slots.iter().take(count) {
+            // ORDERING: Relaxed — we hold the writer latch.
+            let cid = s.load(Ordering::Relaxed);
+            let Some(child) = self.nodes.get(cid) else {
+                continue;
+            };
+            let r = child.load_mbr();
+            let enlargement = r.enlargement(&prect);
+            let area = r.area();
+            let better = match best {
+                None => true,
+                Some((_, be, ba)) => enlargement < be || (enlargement <= be && area < ba),
+            };
+            if better {
+                best = Some((cid, enlargement, area));
+            }
+        }
+        best.map(|(cid, _, _)| cid)
+    }
+
+    /// Union of the first `count` children's MBRs (writer-side).
+    fn children_union(&self, node: &ConcNode<D>, count: usize) -> Option<Rect<D>> {
+        let mut acc: Option<Rect<D>> = None;
+        for s in node.slots.iter().take(count) {
+            // ORDERING: Relaxed — we hold the writer latch.
+            let cid = s.load(Ordering::Relaxed);
+            if let Some(child) = self.nodes.get(cid) {
+                let r = child.load_mbr();
+                acc = Some(match acc {
+                    None => r,
+                    Some(a) => a.union(&r),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Union of the first `count` records' points (writer-side).
+    fn leaf_union(&self, node: &ConcNode<D>, count: usize) -> Option<Rect<D>> {
+        let mut acc: Option<Rect<D>> = None;
+        for s in node.slots.iter().take(count) {
+            // ORDERING: Relaxed — we hold the writer latch.
+            let rid = s.load(Ordering::Relaxed);
+            if let Some((p, _)) = self.records.get(rid) {
+                acc = Some(match acc {
+                    None => Rect::from_point(p),
+                    Some(mut a) => {
+                        a.extend_point(p);
+                        a
+                    }
+                });
+            }
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Structural self-check, for tests: walks the live tree under the
+    /// shared latch and verifies level monotonicity, occupancy bounds,
+    /// MBR containment, that no dead node is reachable, and that the
+    /// reachable record count matches [`ConcurrentRTree::len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let shared = lock_shared(&self.latch);
+        // ORDERING: Acquire pairs with the Release root swap.
+        let root_id = self.root.load(Ordering::Acquire);
+        let mut reachable = 0_usize;
+        let mut stack = vec![root_id];
+        while let Some(id) = stack.pop() {
+            let Some(node) = self.nodes.get(id) else {
+                return Err(format!("node id {id} does not resolve"));
+            };
+            let snap = capture(node);
+            if snap.dead {
+                return Err(format!("dead node {id} is reachable"));
+            }
+            if snap.count > self.params.max_entries {
+                return Err(format!(
+                    "node {id} holds {} entries (max {})",
+                    snap.count, self.params.max_entries
+                ));
+            }
+            if snap.level == 0 {
+                for rid in snap.slot_ids() {
+                    let Some((p, _)) = self.records.get(rid) else {
+                        return Err(format!("record id {rid} does not resolve"));
+                    };
+                    if snap.count > 0 && !snap.mbr.contains_point(p) {
+                        return Err(format!("leaf {id} MBR does not contain its record"));
+                    }
+                    reachable += 1;
+                }
+            } else {
+                if snap.count == 0 {
+                    return Err(format!("inner node {id} has no children"));
+                }
+                for cid in snap.slot_ids() {
+                    let Some(child) = self.nodes.get(cid) else {
+                        return Err(format!("child id {cid} does not resolve"));
+                    };
+                    if child.level + 1 != snap.level {
+                        return Err(format!(
+                            "child {cid} level {} under node {id} level {}",
+                            child.level, snap.level
+                        ));
+                    }
+                    let (ccount, cdead) = child.plain_meta();
+                    if cdead {
+                        return Err(format!("dead child {cid} linked under {id}"));
+                    }
+                    if ccount > 0 && !snap.mbr.contains_rect(&child.load_mbr()) {
+                        return Err(format!("node {id} MBR does not contain child {cid}"));
+                    }
+                    stack.push(cid);
+                }
+            }
+        }
+        drop(shared);
+        if reachable != self.len() {
+            return Err(format!(
+                "reachable records {reachable} != len {}",
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total nodes ever allocated (live + dead), for tests and benches.
+    #[must_use]
+    pub fn nodes_allocated(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (`fault-inject` feature)
+    // ------------------------------------------------------------------
+
+    /// Configures a conflict storm: every `every_nth`-th optimistic
+    /// payload capture gets its node version bumped mid-read, failing
+    /// validation. `1` invalidates **every** capture — the adversarial
+    /// schedule the chaos suite uses to prove the ladder terminates.
+    /// `0` turns the storm off.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_conflict_storm(&self, every_nth: usize) {
+        // ORDERING: Relaxed — configuration word read by the storm site.
+        self.storm.every_nth.store(every_nth, Ordering::Relaxed);
+    }
+
+    /// Version bumps the storm has injected so far.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn storm_injections(&self) -> usize {
+        // ORDERING: Relaxed — statistics counter.
+        self.storm.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<const D: usize, T> Default for ConcurrentRTree<D, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, T> Phase1Index<D, T> for ConcurrentRTree<D, T> {
+    fn search_rect_into<'t>(
+        &'t self,
+        rect: &Rect<D>,
+        stats: &mut SearchStats,
+        out: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        self.query_rect_into(rect, stats, out);
+    }
+}
+
+/// Reusable traversal scratch for
+/// [`ConcurrentRTree::query_rect_with_scratch`]: owns the explicit DFS
+/// stack so repeated queries reuse its backing allocation.
+#[derive(Debug, Default)]
+pub struct ConcQueryScratch {
+    stack: Vec<usize>,
+}
+
+impl ConcQueryScratch {
+    /// Empty scratch (no allocation until first use).
+    #[must_use]
+    pub fn new() -> Self {
+        ConcQueryScratch { stack: Vec::new() }
+    }
+}
+
+/// Shared-latch acquisition tolerant of poisoning: a reader panicking
+/// cannot corrupt the latch's `()` payload, so recovering the guard is
+/// always sound.
+fn lock_shared(latch: &RwLock<()>) -> RwLockReadGuard<'_, ()> {
+    latch.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Exclusive-latch acquisition tolerant of poisoning (see
+/// [`lock_shared`]).
+fn lock_exclusive(latch: &RwLock<()>) -> RwLockWriteGuard<'_, ()> {
+    latch.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(Vector<2>, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 29) as f64;
+                let y = (i / 29) as f64;
+                (Vector::from([x, y]), i)
+            })
+            .collect()
+    }
+
+    fn sorted_payloads(hits: &[(&Vector<2>, &usize)]) -> Vec<usize> {
+        let mut v: Vec<usize> = hits.iter().map(|(_, d)| **d).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        assert!(tree.is_empty());
+        let hits = tree.query_rect(&Rect::everything());
+        assert!(hits.is_empty());
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn insert_query_parity_with_sequential_tree() {
+        let points = grid_points(500);
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        let mut seq = crate::RTree::with_params(RStarParams::paper_default(2));
+        for (p, d) in &points {
+            tree.insert(*p, *d);
+            seq.insert(*p, *d);
+        }
+        assert_eq!(tree.len(), 500);
+        assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        for (lo, hi) in [
+            ([0.0, 0.0], [5.0, 5.0]),
+            ([3.0, 2.0], [20.0, 11.0]),
+            ([100.0, 100.0], [200.0, 200.0]),
+        ] {
+            let rect = Rect::from_corners(&Vector::from(lo), &Vector::from(hi));
+            let mut got = sorted_payloads(&tree.query_rect(&rect));
+            let mut want: Vec<usize> = seq.query_rect(&rect).iter().map(|(_, d)| **d).collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, want, "rect {lo:?}..{hi:?}");
+        }
+    }
+
+    #[test]
+    fn splits_grow_the_tree_and_keep_every_record() {
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        let points = grid_points(2000);
+        for (p, d) in &points {
+            tree.insert(*p, *d);
+        }
+        assert_eq!(tree.len(), 2000);
+        assert!(
+            tree.nodes_allocated() > 1,
+            "2000 inserts must split the root at paper fan-out"
+        );
+        assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        let all = tree.query_rect(&Rect::everything());
+        assert_eq!(sorted_payloads(&all), (0..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_matching_record() {
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        for (p, d) in grid_points(300) {
+            tree.insert(p, d);
+        }
+        let victim = Vector::from([7.0, 3.0]); // i = 7 + 3*29 = 94
+        assert!(tree.remove(&victim, &94));
+        assert!(!tree.remove(&victim, &94), "already removed");
+        assert_eq!(tree.len(), 299);
+        assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        let all = tree.query_rect(&Rect::everything());
+        assert_eq!(all.len(), 299);
+        assert!(sorted_payloads(&all).binary_search(&94).is_err());
+    }
+
+    #[test]
+    fn stats_account_for_the_optimistic_ladder() {
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        for (p, d) in grid_points(400) {
+            tree.insert(p, d);
+        }
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        tree.query_rect_into(&Rect::everything(), &mut stats, &mut out);
+        assert_eq!(out.len(), 400);
+        assert!(stats.nodes_visited > 0);
+        // Quiescent tree: every node read validates on the first
+        // attempt, so attempts == visits, no retries, no fallbacks.
+        assert_eq!(stats.olc_attempts, stats.nodes_visited);
+        assert_eq!(stats.olc_retries, 0);
+        assert_eq!(stats.olc_fallbacks, 0);
+        assert_eq!(
+            stats.olc_retry_depth.first().copied(),
+            Some(stats.nodes_visited)
+        );
+    }
+
+    #[test]
+    fn zero_restart_budget_still_answers_via_fallback() {
+        let ladder = ContentionLadder {
+            node_attempts: 1,
+            restart_budget: 0,
+            ..ContentionLadder::default()
+        };
+        let tree: ConcurrentRTree<2, usize> =
+            ConcurrentRTree::with_params(RStarParams::paper_default(2), ladder);
+        for (p, d) in grid_points(200) {
+            tree.insert(p, d);
+        }
+        // Quiescent: even budget 0 answers optimistically (one clean pass).
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        tree.query_rect_into(&Rect::everything(), &mut stats, &mut out);
+        assert_eq!(out.len(), 200);
+        assert_eq!(stats.olc_fallbacks, 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn full_storm_forces_fallback_with_correct_results() {
+        let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        for (p, d) in grid_points(400) {
+            tree.insert(p, d);
+        }
+        tree.inject_conflict_storm(1); // invalidate every capture
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        tree.query_rect_into(&Rect::everything(), &mut stats, &mut out);
+        assert_eq!(out.len(), 400, "storm must not lose records");
+        assert!(stats.olc_fallbacks > 0, "100% storm must hit the fallback");
+        assert!(stats.olc_retries > 0);
+        assert!(tree.storm_injections() > 0);
+        tree.inject_conflict_storm(0);
+        let mut calm = SearchStats::default();
+        tree.query_rect_into(&Rect::everything(), &mut calm, &mut out);
+        assert_eq!(calm.olc_fallbacks, 0, "storm off: optimistic again");
+    }
+
+    #[test]
+    fn slot_store_locate_roundtrips() {
+        // Chunk boundaries: 0..64 in chunk 0, 64..192 in chunk 1, ...
+        assert_eq!(SlotStore::<u8>::locate(0), (0, 0));
+        assert_eq!(SlotStore::<u8>::locate(63), (0, 63));
+        assert_eq!(SlotStore::<u8>::locate(64), (1, 0));
+        assert_eq!(SlotStore::<u8>::locate(191), (1, 127));
+        assert_eq!(SlotStore::<u8>::locate(192), (2, 0));
+        let store: SlotStore<usize> = SlotStore::new();
+        for i in 0..500 {
+            assert_eq!(store.publish(i * 3), i);
+        }
+        for i in 0..500 {
+            assert_eq!(store.get(i).copied(), Some(i * 3));
+        }
+        assert_eq!(store.get(500), None);
+        assert_eq!(store.get(NIL), None);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod bulk;
+pub mod concurrent;
 pub mod grid;
 pub mod node;
 pub mod olc;
@@ -42,10 +43,11 @@ pub mod rect;
 mod split;
 pub mod tree;
 
+pub use concurrent::{ConcQueryScratch, ConcurrentRTree, ContentionLadder, MAX_FANOUT};
 pub use grid::UniformGrid;
 pub use node::LeafEntry;
-pub use olc::VersionCell;
+pub use olc::{ReadOutcome, VersionCell};
 pub use params::RStarParams;
-pub use query::{KnnScratch, SearchStats};
+pub use query::{KnnScratch, Phase1Index, SearchStats, OLC_DEPTH_BUCKETS};
 pub use rect::Rect;
 pub use tree::{RTree, TreeStats};

@@ -124,24 +124,92 @@ impl VersionCell {
     /// attempt raced with a writer — callers escalate (for the OLC
     /// tree: restart the descent or fall back to a shared lock).
     ///
+    /// `max_retries = 0` means exactly one optimistic attempt and no
+    /// retry; `max_retries = k` permits `k + 1` attempts in total.
+    ///
+    /// `read` must be side-effect-free: it may run multiple times and
+    /// its intermediate results are discarded on validation failure.
+    pub fn read_consistent<T>(&self, max_retries: usize, read: impl FnMut() -> T) -> Option<T> {
+        match self.read_tracked(max_retries, read) {
+            ReadOutcome::Validated { value, .. } => Some(value),
+            ReadOutcome::Contended { .. } | ReadOutcome::LockedOnArrival { .. } => None,
+        }
+    }
+
+    /// [`VersionCell::read_consistent`] with full retry accounting: the
+    /// outcome distinguishes a validated snapshot (and how many retries
+    /// it cost) from the two failure modes a contention ladder treats
+    /// differently — *contended* (at least one speculative read was
+    /// torn by a concurrent writer: backing off and retrying is likely
+    /// to succeed) versus *write-locked on arrival* (every attempt
+    /// found the cell held by a writer: the reader never even
+    /// speculated, and escalating to the pessimistic path is the better
+    /// move).
+    ///
+    /// `max_retries = 0` means exactly one optimistic attempt and no
+    /// retry; `max_retries = k` permits `k + 1` attempts in total.
+    ///
     /// `read` must be side-effect-free: it may run multiple times and
     /// its intermediate results are discarded on validation failure.
     // RETRY-SAFE: the loop body re-runs on every validation failure;
     // all of its bindings are local, so re-execution is unobservable
     // (the `retry-purity` audit rule checks this body and every
     // closure passed in).
-    pub fn read_consistent<T>(&self, max_retries: usize, mut read: impl FnMut() -> T) -> Option<T> {
-        for _ in 0..=max_retries {
+    pub fn read_tracked<T>(
+        &self,
+        max_retries: usize,
+        mut read: impl FnMut() -> T,
+    ) -> ReadOutcome<T> {
+        let attempts = max_retries.saturating_add(1);
+        let mut locked_on_arrival = 0;
+        for attempt in 0..attempts {
             let Some(guard) = self.optimistic_read() else {
+                locked_on_arrival += 1;
                 continue;
             };
             let value = read();
             if guard.validate() {
-                return Some(value);
+                return ReadOutcome::Validated {
+                    value,
+                    retries: attempt,
+                };
             }
         }
-        None
+        if locked_on_arrival == attempts {
+            ReadOutcome::LockedOnArrival { attempts }
+        } else {
+            ReadOutcome::Contended { attempts }
+        }
     }
+}
+
+/// The result of a tracked optimistic read ([`VersionCell::read_tracked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome<T> {
+    /// A snapshot survived validation. `retries` counts the failed
+    /// attempts *before* the successful one (`0` = first try).
+    Validated {
+        /// The validated payload snapshot.
+        value: T,
+        /// Failed attempts before the successful one.
+        retries: usize,
+    },
+    /// Every attempt raced a writer, and at least one of them began on
+    /// an unlocked cell — a speculative read was actually torn by a
+    /// concurrent version bump. Backoff-and-retry is the natural
+    /// escalation.
+    Contended {
+        /// Total attempts made (`max_retries + 1`).
+        attempts: usize,
+    },
+    /// Every attempt found the cell already write-locked (odd
+    /// version): the payload was never even speculatively read. The
+    /// writer may hold the node for a structural change — escalating
+    /// to the pessimistic shared path is the natural escalation.
+    LockedOnArrival {
+        /// Total attempts made (`max_retries + 1`).
+        attempts: usize,
+    },
 }
 
 impl Default for VersionCell {

@@ -1,0 +1,287 @@
+//! Correctness suite for the concurrent OLC R\*-tree
+//! (`gprq_rtree::concurrent`): quiescent parity against the
+//! single-writer tree, real-thread readers racing writers, and the
+//! ISSUE-8 ground-truth property — N concurrent readers over a mutating
+//! tree always return exactly the single-threaded result set when the
+//! mutations stay outside the query window.
+//!
+//! This file is also the ThreadSanitizer CI target for the concurrent
+//! tree: the racing tests exercise the seqlock capture/validate path,
+//! the append-only stores, and the pessimistic fallback under real
+//! hardware reordering.
+
+use gprq_linalg::Vector;
+use gprq_rtree::{
+    ConcQueryScratch, ConcurrentRTree, ContentionLadder, RStarParams, RTree, Rect, SearchStats,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random point cloud.
+fn random_points(n: usize, seed: u64, extent: f64) -> Vec<(Vector<2>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Vector::from([rng.gen::<f64>() * extent, rng.gen::<f64>() * extent]),
+                i,
+            )
+        })
+        .collect()
+}
+
+fn sorted_ids(hits: &[(&Vector<2>, &usize)]) -> Vec<usize> {
+    let mut ids: Vec<usize> = hits.iter().map(|(_, d)| **d).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn brute_force_rect(points: &[(Vector<2>, usize)], rect: &Rect<2>) -> Vec<usize> {
+    let mut ids: Vec<usize> = points
+        .iter()
+        .filter(|(p, _)| rect.contains_point(p))
+        .map(|(_, id)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn quiescent_parity_with_sequential_tree_across_seeds() {
+    for seed in [3_u64, 17, 99] {
+        let points = random_points(3_000, seed, 1000.0);
+        let conc: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        let mut seq = RTree::with_params(RStarParams::paper_default(2));
+        for (p, d) in &points {
+            conc.insert(*p, *d);
+            seq.insert(*p, *d);
+        }
+        assert!(conc.validate().is_ok(), "{:?}", conc.validate());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..40 {
+            let cx = rng.gen::<f64>() * 1000.0;
+            let cy = rng.gen::<f64>() * 1000.0;
+            let w = rng.gen::<f64>() * 200.0;
+            let rect = Rect::centered(&Vector::from([cx, cy]), &Vector::from([w, w]));
+            assert_eq!(
+                sorted_ids(&conc.query_rect(&rect)),
+                brute_force_rect(&points, &rect),
+                "seed {seed}"
+            );
+            assert_eq!(
+                sorted_ids(&seq.query_rect(&rect)),
+                sorted_ids(&conc.query_rect(&rect)),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn removals_keep_parity_with_brute_force() {
+    let mut points = random_points(1_500, 7, 500.0);
+    let conc: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+    for (p, d) in &points {
+        conc.insert(*p, *d);
+    }
+    // Remove every third record, checking parity as we go.
+    let removed: Vec<(Vector<2>, usize)> = points.iter().step_by(3).copied().collect();
+    for (p, d) in &removed {
+        assert!(conc.remove(p, d), "record {d} must be present");
+    }
+    points.retain(|(_, d)| d % 3 != 0);
+    assert_eq!(conc.len(), points.len());
+    assert!(conc.validate().is_ok(), "{:?}", conc.validate());
+    let rect = Rect::centered(&Vector::from([250.0, 250.0]), &Vector::from([180.0, 180.0]));
+    assert_eq!(
+        sorted_ids(&conc.query_rect(&rect)),
+        brute_force_rect(&points, &rect)
+    );
+}
+
+/// ISSUE-8 ground-truth property: N concurrent readers over a mutating
+/// tree return exactly the single-threaded result set, because every
+/// mutation stays outside the query window. Any torn snapshot, lost
+/// subtree, or double-visited split half would make some read differ.
+#[test]
+fn concurrent_readers_see_exact_ground_truth_while_writer_mutates_outside() {
+    // Stable population inside the window [0, 100]^2 …
+    let inside = random_points(800, 11, 100.0);
+    // … and a churn set strictly outside it (offset by +200).
+    let churn: Vec<(Vector<2>, usize)> = random_points(800, 13, 100.0)
+        .into_iter()
+        .map(|(p, d)| (Vector::from([p[0] + 200.0, p[1] + 200.0]), d + 10_000))
+        .collect();
+
+    let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+    for (p, d) in &inside {
+        tree.insert(*p, *d);
+    }
+    let window = Rect::from_corners(&Vector::from([0.0, 0.0]), &Vector::from([100.0, 100.0]));
+    let truth = brute_force_rect(&inside, &window);
+    assert_eq!(truth.len(), inside.len(), "window covers the stable set");
+
+    const READERS: usize = 4;
+    const READS_PER_READER: usize = 60;
+    let mut reader_stats = vec![SearchStats::default(); READERS];
+    let tree_ref = &tree;
+    let truth_ref = &truth;
+    let window_ref = &window;
+    std::thread::scope(|scope| {
+        // Writer: churn inserts/removes strictly outside the window,
+        // forcing splits, dead nodes, and MBR updates the readers race.
+        scope.spawn(|| {
+            for pass in 0..3 {
+                for (p, d) in &churn {
+                    tree.insert(*p, *d);
+                }
+                for (p, d) in &churn {
+                    assert!(tree.remove(p, d), "pass {pass}: churn record present");
+                }
+            }
+        });
+        for stats in &mut reader_stats {
+            scope.spawn(move || {
+                let mut scratch = ConcQueryScratch::new();
+                let mut out = Vec::new();
+                for read in 0..READS_PER_READER {
+                    tree_ref.query_rect_with_scratch(window_ref, stats, &mut scratch, &mut out);
+                    assert_eq!(
+                        &sorted_ids(&out),
+                        truth_ref,
+                        "read {read} diverged from ground truth"
+                    );
+                }
+            });
+        }
+    });
+    let mut total = SearchStats::default();
+    for stats in &reader_stats {
+        total.merge(stats);
+    }
+    // Optimistic visits cost at least one attempt each; only the
+    // pessimistic fallback visits nodes without attempts.
+    if total.olc_fallbacks == 0 {
+        assert!(
+            total.olc_attempts >= total.nodes_visited,
+            "every optimistic visit costs at least one attempt"
+        );
+    }
+    assert!(
+        total.olc_attempts > 0,
+        "readers must have read optimistically"
+    );
+    // The ladder is bounded: each query makes at most
+    // (restart_budget + 1) descents, each spending at most
+    // node_attempts per node it touches (visited nodes plus at most one
+    // failing node per descent) before the lock-based fallback.
+    let ladder = ContentionLadder::default();
+    let per_visit_cap = ladder.node_attempts * (ladder.restart_budget + 1);
+    let total_queries = READERS * READS_PER_READER;
+    assert!(
+        total.olc_attempts
+            <= per_visit_cap.saturating_mul(total.nodes_visited.saturating_add(total_queries)),
+        "retry explosion: {} attempts for {} visits over {} queries",
+        total.olc_attempts,
+        total.nodes_visited,
+        total_queries
+    );
+    assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+    assert_eq!(sorted_ids(&tree.query_rect(&window)), truth);
+}
+
+/// Readers racing a writer that inserts *into* the window: each read
+/// must return a consistent subset — exactly the stable records plus
+/// some prefix-closed subset of the already-inserted growth records,
+/// never a torn half-record or a duplicate.
+#[test]
+fn concurrent_readers_never_see_duplicates_or_tears_during_window_growth() {
+    let stable = random_points(400, 21, 100.0);
+    let growth: Vec<(Vector<2>, usize)> = random_points(400, 23, 100.0)
+        .into_iter()
+        .map(|(p, d)| (p, d + 50_000))
+        .collect();
+    let tree: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+    for (p, d) in &stable {
+        tree.insert(*p, *d);
+    }
+    let window = Rect::from_corners(&Vector::from([0.0, 0.0]), &Vector::from([100.0, 100.0]));
+    let stable_ids = brute_force_rect(&stable, &window);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for (p, d) in &growth {
+                tree.insert(*p, *d);
+            }
+        });
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut stats = SearchStats::default();
+                let mut scratch = ConcQueryScratch::new();
+                let mut out = Vec::new();
+                for _ in 0..80 {
+                    tree.query_rect_with_scratch(&window, &mut stats, &mut scratch, &mut out);
+                    let ids = sorted_ids(&out);
+                    // No duplicates (a reader visiting both split halves
+                    // of one node would double-count records).
+                    let mut dedup = ids.clone();
+                    dedup.dedup();
+                    assert_eq!(ids, dedup, "duplicate records in one read");
+                    // Every stable record present, every extra one a
+                    // real growth record.
+                    let mut stable_seen = 0_usize;
+                    for id in &ids {
+                        if *id < 50_000 {
+                            stable_seen += 1;
+                        } else {
+                            assert!(growth.iter().any(|(_, d)| d == id), "phantom record {id}");
+                        }
+                    }
+                    assert_eq!(stable_seen, stable_ids.len(), "lost a stable record");
+                }
+            });
+        }
+    });
+    assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+    let final_ids = sorted_ids(&tree.query_rect(&window));
+    let mut want: Vec<usize> = stable_ids;
+    want.extend(brute_force_rect(&growth, &window));
+    want.sort_unstable();
+    assert_eq!(final_ids, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized operation sequences applied to both trees: rectangle
+    /// queries agree exactly after every batch.
+    #[test]
+    fn random_ops_keep_exact_parity(seed in 0_u64..1_000, n in 50_usize..400) {
+        let points = random_points(n, seed, 300.0);
+        let conc: ConcurrentRTree<2, usize> = ConcurrentRTree::new();
+        let mut seq = RTree::with_params(RStarParams::paper_default(2));
+        for (p, d) in &points {
+            conc.insert(*p, *d);
+            seq.insert(*p, *d);
+        }
+        // Remove a deterministic subset through both trees.
+        for (p, d) in points.iter().filter(|(_, d)| d % 5 == 0) {
+            prop_assert!(conc.remove(p, d));
+            prop_assert!(seq.remove(p, d));
+        }
+        prop_assert_eq!(conc.len(), seq.len());
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        for _ in 0..10 {
+            let cx = rng.gen::<f64>() * 300.0;
+            let cy = rng.gen::<f64>() * 300.0;
+            let w = rng.gen::<f64>() * 80.0;
+            let rect = Rect::centered(&Vector::from([cx, cy]), &Vector::from([w, w]));
+            prop_assert_eq!(
+                sorted_ids(&conc.query_rect(&rect)),
+                sorted_ids(&seq.query_rect(&rect))
+            );
+        }
+        prop_assert!(conc.validate().is_ok());
+    }
+}

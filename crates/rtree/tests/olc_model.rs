@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use gprq_rtree::VersionCell;
+use gprq_rtree::{ReadOutcome, VersionCell};
 use loom::sync::atomic::{AtomicU64, Ordering};
 
 /// A version word plus the two-word payload it protects. The payload
@@ -325,6 +325,179 @@ fn naive_handoff_admits_the_poisoned_child_in_some_schedule() {
         "no schedule leaked the poisoned child through the naive \
          handoff — the model is not exercising the window that lock \
          coupling closes"
+    );
+}
+
+/// High bit marks a killed node, mirroring `concurrent.rs`'s
+/// `DEAD_BIT` packing in `ConcNode::meta`.
+const MODEL_DEAD_BIT: u64 = 1 << 63;
+
+/// A version-protected single word, standing in for a `ConcNode`'s
+/// packed `meta` (dead flag + payload in one word).
+struct MetaChild {
+    version: VersionCell,
+    meta: AtomicU64,
+}
+
+impl MetaChild {
+    fn new(payload: u64) -> Self {
+        MetaChild {
+            version: VersionCell::new(),
+            meta: AtomicU64::new(payload),
+        }
+    }
+}
+
+/// One validated capture of `word` under `cell`, the way
+/// `ConcurrentRTree::read_node` captures a node snapshot:
+/// `read_tracked(0, capture)` — speculate, then accept only a
+/// validated value.
+fn validated_word(cell: &VersionCell, word: &AtomicU64) -> Option<u64> {
+    match cell.read_tracked(0, || word.load(Ordering::Relaxed)) {
+        ReadOutcome::Validated { value, .. } => Some(value),
+        ReadOutcome::Contended { .. } | ReadOutcome::LockedOnArrival { .. } => None,
+    }
+}
+
+/// Two-level descent racing a node split, modeling the REAL
+/// `ConcurrentRTree` read protocol: per-node validated snapshots plus
+/// a dead-flag restart — deliberately NO lock coupling (contrast
+/// [`TwoCell::coupled_read`]). The protocol is sound without coupling
+/// because the split writer marks the abandoned node DEAD inside the
+/// same version-locked write that repoints the parent, so a reader
+/// that raced past the parent either fails the child's validation or
+/// sees the dead flag and restarts the descent.
+struct SplitRace {
+    parent: VersionCell,
+    /// The parent's child slot: index of the active child.
+    slot: AtomicU64,
+    children: [MetaChild; 2],
+}
+
+impl SplitRace {
+    /// Child 0 active with payload 7; sibling child 1 pre-populated
+    /// with 21, so the split only repoints and kills (few scheduling
+    /// points keeps the exploration exhaustive).
+    fn new() -> Self {
+        SplitRace {
+            parent: VersionCell::new(),
+            slot: AtomicU64::new(0),
+            children: [MetaChild::new(7), MetaChild::new(21)],
+        }
+    }
+
+    /// Split: under the parent and victim locks (PR-7 lock order:
+    /// parent before child), repoint the slot to child 1 and kill
+    /// child 0, poisoning its payload word the way a real split node
+    /// stops being meaningful.
+    fn split(&self) {
+        let parent_guard = self
+            .parent
+            .write_lock()
+            .expect("uncontended parent lock must succeed");
+        let child_guard = self.children[0]
+            .version
+            .write_lock()
+            .expect("uncontended child lock must succeed");
+        self.slot.store(1, Ordering::Relaxed);
+        self.children[0]
+            .meta
+            .store(MODEL_DEAD_BIT | 99, Ordering::Relaxed);
+        drop(child_guard);
+        drop(parent_guard);
+    }
+
+    /// The real descent ladder, restart budget 1: validated parent
+    /// snapshot chooses the child; a validated-but-dead child restarts
+    /// the whole descent; any contention gives up (`None` stands for
+    /// the pessimistic fallback the real tree degrades to).
+    fn descend(&self) -> Option<u64> {
+        for _ in 0..2 {
+            let idx = validated_word(&self.parent, &self.slot)?;
+            let child = self.children.get((idx & 1) as usize)?;
+            let meta = validated_word(&child.version, &child.meta)?;
+            if meta & MODEL_DEAD_BIT != 0 {
+                continue;
+            }
+            return Some(meta);
+        }
+        None
+    }
+
+    /// BROKEN on purpose: same per-node validation, but the dead flag
+    /// is stripped instead of honored.
+    fn descend_ignoring_dead(&self) -> Option<u64> {
+        let idx = validated_word(&self.parent, &self.slot)?;
+        let child = self.children.get((idx & 1) as usize)?;
+        validated_word(&child.version, &child.meta).map(|m| m & !MODEL_DEAD_BIT)
+    }
+}
+
+/// Across EVERY schedule of a two-level descent racing a node split,
+/// the dead-flag protocol returns only the pre-split payload (7) or
+/// the post-split payload (21) — never the poisoned word of the
+/// abandoned node, and never a torn mix. This is the model-checked
+/// counterpart of `concurrent.rs`'s "why per-node validation
+/// suffices" argument.
+#[test]
+fn descent_racing_a_split_sees_pre_or_post_state_never_torn() {
+    let exploration = loom::try_explore(|| {
+        let race = Arc::new(SplitRace::new());
+        let writer = {
+            let race = Arc::clone(&race);
+            loom::thread::spawn(move || race.split())
+        };
+        if let Some(payload) = race.descend() {
+            assert!(
+                payload == 7 || payload == 21,
+                "descent returned a torn or dead payload: {payload}"
+            );
+        }
+        writer.join().unwrap();
+        // Split retired: the descent must land on the new child. This
+        // also exercises the dead-restart rung deterministically when
+        // the racing descend above consumed child 0's death.
+        assert_eq!(race.descend(), Some(21));
+    })
+    .expect("dead-flag descent must hold under every schedule");
+    assert!(
+        exploration.complete,
+        "exploration hit a bound — the proof is not exhaustive"
+    );
+    assert!(
+        exploration.executions >= 50,
+        "suspiciously few schedules explored: {}",
+        exploration.executions
+    );
+}
+
+/// The dead flag has teeth: a reader that validates every node but
+/// ignores the flag DOES surface the abandoned node's poisoned
+/// payload in some schedule (validation alone cannot reject a
+/// node that was killed before the snapshot began).
+#[test]
+fn ignoring_the_dead_flag_leaks_the_abandoned_node_in_some_schedule() {
+    let poison_seen = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let recorder = Arc::clone(&poison_seen);
+    let exploration = loom::try_explore(move || {
+        let race = Arc::new(SplitRace::new());
+        let writer = {
+            let race = Arc::clone(&race);
+            loom::thread::spawn(move || race.split())
+        };
+        if let Some(payload) = race.descend_ignoring_dead() {
+            if payload == 99 {
+                recorder.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        writer.join().unwrap();
+    })
+    .expect("the dead-blind reader asserts nothing, so it cannot fail");
+    assert!(exploration.complete);
+    assert!(
+        poison_seen.load(std::sync::atomic::Ordering::SeqCst) > 0,
+        "no schedule surfaced the poisoned payload — the model is not \
+         exercising the window the dead flag closes"
     );
 }
 

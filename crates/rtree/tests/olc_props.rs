@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use gprq_rtree::VersionCell;
+use gprq_rtree::{ReadOutcome, VersionCell};
 use proptest::proptest;
 
 #[test]
@@ -74,6 +74,88 @@ fn read_consistent_gives_up_when_the_cell_stays_locked() {
         cell.read_consistent(8, || 1_u32),
         None,
         "a permanently locked cell exhausts every retry"
+    );
+}
+
+// --- read_tracked retry-accounting regressions (ISSUE 8 satellite) ---
+
+#[test]
+fn zero_max_retries_means_exactly_one_attempt() {
+    // Quiescent cell: the single attempt validates with zero retries.
+    let cell = VersionCell::new();
+    let calls = AtomicU64::new(0);
+    let outcome = cell.read_tracked(0, || calls.fetch_add(1, Ordering::SeqCst));
+    assert_eq!(
+        outcome,
+        ReadOutcome::Validated {
+            value: 0,
+            retries: 0
+        }
+    );
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "read ran exactly once");
+
+    // Same budget through read_consistent: one attempt, no retry.
+    let calls = AtomicU64::new(0);
+    assert_eq!(
+        cell.read_consistent(0, || calls.fetch_add(1, Ordering::SeqCst)),
+        Some(0)
+    );
+    assert_eq!(calls.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn locked_on_arrival_is_distinguished_and_never_speculates() {
+    let cell = VersionCell::new();
+    let _w = cell.write_lock().expect("lock");
+    let calls = AtomicU64::new(0);
+    let outcome = cell.read_tracked(3, || calls.fetch_add(1, Ordering::SeqCst));
+    assert_eq!(
+        outcome,
+        ReadOutcome::LockedOnArrival { attempts: 4 },
+        "max_retries = 3 permits exactly 4 attempts"
+    );
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "a locked cell must never run the speculative read"
+    );
+}
+
+#[test]
+fn torn_reads_report_contended_not_locked() {
+    // The read closure itself bumps the version (lock + unlock), so
+    // every attempt starts on an unlocked cell, speculates, and fails
+    // validation: the outcome must be Contended.
+    let cell = VersionCell::new();
+    let outcome = cell.read_tracked(2, || {
+        if let Some(g) = cell.write_lock() {
+            drop(g);
+        }
+        7_u32
+    });
+    assert_eq!(outcome, ReadOutcome::Contended { attempts: 3 });
+}
+
+#[test]
+fn validated_outcome_counts_the_retries_it_consumed() {
+    // First attempt is torn (the closure bumps the version once), the
+    // second validates: retries == 1.
+    let cell = VersionCell::new();
+    let calls = AtomicU64::new(0);
+    let outcome = cell.read_tracked(3, || {
+        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+            if let Some(g) = cell.write_lock() {
+                drop(g);
+            }
+        }
+        42_u32
+    });
+    assert_eq!(
+        outcome,
+        ReadOutcome::Validated {
+            value: 42,
+            retries: 1
+        }
     );
 }
 

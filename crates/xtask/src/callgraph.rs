@@ -1119,7 +1119,11 @@ mod tests {
         a.check_lock_order(&s, &mut out);
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].rule, "lock-order");
-        assert!(out[0].message.contains("`a` -> `b` -> `c` -> `a`"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("`a` -> `b` -> `c` -> `a`"),
+            "{}",
+            out[0].message
+        );
         // The witness chain walks every edge of the cycle, including the
         // interprocedural hop through `helper`.
         assert_eq!(out[0].chain.len(), 3, "{out:#?}");

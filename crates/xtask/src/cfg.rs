@@ -281,7 +281,13 @@ impl Builder<'_> {
 
     /// Lowers the statement range `[start, end)` starting in block
     /// `cur`; returns the block where fall-through control ends up.
-    fn lower(&mut self, start: usize, end: usize, mut cur: usize, loops: &mut Vec<LoopCtx>) -> usize {
+    fn lower(
+        &mut self,
+        start: usize,
+        end: usize,
+        mut cur: usize,
+        loops: &mut Vec<LoopCtx>,
+    ) -> usize {
         let mut i = start;
         while i < end {
             match self.text(i) {
@@ -421,7 +427,13 @@ impl Builder<'_> {
     /// returns the index after the statement. The else-body is lowered
     /// as a diverging branch out of `cur` (its fall-through gets no
     /// successor — the grammar requires it to diverge).
-    fn lower_let(&mut self, i: usize, end: usize, cur: &mut usize, loops: &mut Vec<LoopCtx>) -> usize {
+    fn lower_let(
+        &mut self,
+        i: usize,
+        end: usize,
+        cur: &mut usize,
+        loops: &mut Vec<LoopCtx>,
+    ) -> usize {
         let mut depth = 0isize;
         let mut seen_branch_kw = false;
         let mut j = i;
@@ -583,7 +595,7 @@ mod tests {
         build(&toks, a.fns[0].body.unwrap())
     }
 
-    fn stmt_containing<'a>(cfg: &'a Cfg, toks: &[Tok], needle: &str) -> usize {
+    fn stmt_containing(cfg: &Cfg, toks: &[Tok], needle: &str) -> usize {
         cfg.stmts
             .iter()
             .position(|s| (s.lo..s.hi).any(|i| toks[i].text == needle))
@@ -596,7 +608,11 @@ mod tests {
         assert_eq!(c.stmts.len(), 3);
         assert_eq!(c.stmts[2].kind, StmtKind::Tail);
         // All three in the entry block.
-        assert!(c.stmts.iter().enumerate().all(|(i, _)| c.block_of(i) == c.entry));
+        assert!(c
+            .stmts
+            .iter()
+            .enumerate()
+            .all(|(i, _)| c.block_of(i) == c.entry));
     }
 
     #[test]
@@ -612,7 +628,10 @@ mod tests {
         assert!(c.stmt_dominates(&doms, def, l));
         assert!(c.stmt_dominates(&doms, def, r));
         assert!(c.stmt_dominates(&doms, def, after));
-        assert!(!c.stmt_dominates(&doms, l, after), "one arm never dominates the join");
+        assert!(
+            !c.stmt_dominates(&doms, l, after),
+            "one arm never dominates the join"
+        );
         assert!(!c.stmt_dominates(&doms, l, r));
     }
 
@@ -636,8 +655,14 @@ mod tests {
         let def = stmt_containing(&c, &toks, "value");
         let val = stmt_containing(&c, &toks, "validate");
         let ret = stmt_containing(&c, &toks, "return");
-        assert!(c.stmt_dominates(&doms, def, val), "derivation before validate");
-        assert!(c.stmt_dominates(&doms, val, ret), "validate dominates the escape");
+        assert!(
+            c.stmt_dominates(&doms, def, val),
+            "derivation before validate"
+        );
+        assert!(
+            c.stmt_dominates(&doms, val, ret),
+            "validate dominates the escape"
+        );
         // The final `None` tail is NOT dominated by the validate.
         let none_tail = c
             .stmts

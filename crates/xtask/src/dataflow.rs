@@ -246,17 +246,17 @@ fn check_fn(
             let rhs = rhs_range(toks, stmt);
             let mut new_guards: Vec<usize> = Vec::new();
             let mut opaque = false;
-            for i in rhs.0..rhs.1 {
-                match toks[i].kind {
+            for tok in toks.iter().take(rhs.1).skip(rhs.0) {
+                match tok.kind {
                     TokKind::Ident => {
-                        if let Some(t) = taint.get(&toks[i].text) {
+                        if let Some(t) = taint.get(&tok.text) {
                             merge(&mut new_guards, &t.guards);
                         }
-                        if let Some(gi) = guards.iter().position(|g| g.name == toks[i].text) {
+                        if let Some(gi) = guards.iter().position(|g| g.name == tok.text) {
                             merge(&mut new_guards, &[gi]);
                         }
                     }
-                    TokKind::Punct if matches!(toks[i].text.as_str(), "(" | "[" | ".") => {
+                    TokKind::Punct if matches!(tok.text.as_str(), "(" | "[" | ".") => {
                         opaque = true;
                     }
                     _ => {}
@@ -360,8 +360,7 @@ fn stmt_bindings(toks: &[Tok], stmt: &cfg::Stmt) -> Vec<String> {
     if toks[stmt.lo].kind == TokKind::Ident {
         let next = toks.get(stmt.lo + 1).map_or("", |t| t.text.as_str());
         let after = toks.get(stmt.lo + 2).map_or("", |t| t.text.as_str());
-        if next == "="
-            || (matches!(next, "+" | "-" | "*" | "/" | "%" | "&" | "^") && after == "=")
+        if next == "=" || (matches!(next, "+" | "-" | "*" | "/" | "%" | "&" | "^") && after == "=")
         {
             return vec![toks[stmt.lo].text.clone()];
         }
@@ -373,8 +372,8 @@ fn stmt_bindings(toks: &[Tok], stmt: &cfg::Stmt) -> Vec<String> {
 /// the first top-level `=`, or the whole statement when there is none
 /// (branch heads, expression statements).
 fn rhs_range(toks: &[Tok], stmt: &cfg::Stmt) -> (usize, usize) {
-    for i in stmt.lo..stmt.hi {
-        if toks[i].kind == TokKind::Punct && toks[i].text == "=" {
+    for (i, tok) in toks.iter().enumerate().take(stmt.hi).skip(stmt.lo) {
+        if tok.kind == TokKind::Punct && tok.text == "=" {
             return (i + 1, stmt.hi);
         }
     }
@@ -389,8 +388,8 @@ fn escape_kind(toks: &[Tok], stmt: &cfg::Stmt, var: &str) -> Option<String> {
     // (contains `.` / `[` / `*` before the `=`).
     for i in stmt.lo..stmt.hi {
         if toks[i].kind == TokKind::Punct && toks[i].text == "=" {
-            let lhs_compound = (stmt.lo..i)
-                .any(|k| matches!(toks[k].text.as_str(), "." | "[" | "*"));
+            let lhs_compound =
+                (stmt.lo..i).any(|k| matches!(toks[k].text.as_str(), "." | "[" | "*"));
             let is_let = (stmt.lo..i).any(|k| toks[k].text == "let");
             let rhs_mentions =
                 (i + 1..stmt.hi).any(|k| toks[k].kind == TokKind::Ident && toks[k].text == var);

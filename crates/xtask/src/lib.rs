@@ -38,7 +38,7 @@
 //! The build environment is offline (no `syn`), so the auditor uses its
 //! own minimal lexer ([`lexer`]) and a hand-rolled item parser
 //! ([`parser`]) feeding a name-resolved call graph ([`callgraph`]) and
-//! a per-function control-flow graph ([`cfg`]) with forward-dominance
+//! a per-function control-flow graph ([`mod@cfg`]) with forward-dominance
 //! dataflow ([`dataflow`]). The trade-off is documented per rule;
 //! fixture self-tests under `tests/fixtures/` pin the expected behavior
 //! of each rule.

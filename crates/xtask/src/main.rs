@@ -91,7 +91,10 @@ fn render_markers(report: &xtask::report::AuditReport) -> String {
         ));
     }
     for e in &report.lock_edges {
-        lines.push(format!("LOCKGRAPH-EDGE {} -> {} ({}:{})", e.from, e.to, e.path, e.line));
+        lines.push(format!(
+            "LOCKGRAPH-EDGE {} -> {} ({}:{})",
+            e.from, e.to, e.path, e.line
+        ));
     }
     lines.sort();
     let mut out = String::new();

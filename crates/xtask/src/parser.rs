@@ -1459,8 +1459,20 @@ mod tests {
             "// RETRY-SAFE: pure snapshot\nfn pure_one() {}\n\
              fn unmarked() {}",
         );
-        assert!(a.fns.iter().find(|f| f.name == "pure_one").unwrap().retry_safe);
-        assert!(!a.fns.iter().find(|f| f.name == "unmarked").unwrap().retry_safe);
+        assert!(
+            a.fns
+                .iter()
+                .find(|f| f.name == "pure_one")
+                .unwrap()
+                .retry_safe
+        );
+        assert!(
+            !a.fns
+                .iter()
+                .find(|f| f.name == "unmarked")
+                .unwrap()
+                .retry_safe
+        );
     }
 
     #[test]

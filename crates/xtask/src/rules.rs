@@ -756,7 +756,7 @@ pub fn check_atomic_ordering(path: &str, source: &str, toks: &[Tok], out: &mut V
 
 /// Callees whose closure argument re-executes on every retry, so the
 /// closure must be side-effect-free.
-const RETRY_COMBINATORS: [&str; 2] = ["read_consistent", "read_with_retry"];
+const RETRY_COMBINATORS: [&str; 3] = ["read_consistent", "read_tracked", "read_with_retry"];
 
 /// Method names that mutate their receiver: atomic writers/RMWs plus
 /// the common collection mutators. Receiver-based detection — a call
@@ -793,7 +793,7 @@ const IO_MACROS: [&str; 7] = [
 ];
 
 /// C5 `retry-purity`: closures passed to a retry combinator
-/// ([`RETRY_COMBINATORS`]) and the bodies of fns marked
+/// (`RETRY_COMBINATORS`) and the bodies of fns marked
 /// `// RETRY-SAFE:` must be side-effect-free, because a validation
 /// failure re-executes them arbitrarily many times and discards their
 /// intermediate results. Three effect shapes are flagged:
@@ -801,10 +801,10 @@ const IO_MACROS: [&str; 7] = [
 /// * assignment (plain or compound) to a binding that is not local to
 ///   the retry body — a captured variable or a `&mut` parameter keeps
 ///   the effect across retries;
-/// * a mutating method call ([`MUTATING_METHODS`]) whose receiver
+/// * a mutating method call (`MUTATING_METHODS`) whose receiver
 ///   chain is not rooted in a local binding (`.swap` only counts when
 ///   an `Ordering` appears in its arguments, mirroring C3);
-/// * an I/O macro ([`IO_MACROS`]).
+/// * an I/O macro (`IO_MACROS`).
 ///
 /// "Local" means: closure parameters, by-value fn parameters, and
 /// `let` bindings inside the scanned range. `&mut` parameters of a
@@ -846,7 +846,15 @@ pub fn check_retry_purity(
                     .map(|p| p.name.clone())
                     .collect();
                 let ctx = format!("fn `{}` marked `// RETRY-SAFE:`", f.qual_name());
-                scan_purity(path, source, toks, (open + 1, close), &mut locals, &ctx, out);
+                scan_purity(
+                    path,
+                    source,
+                    toks,
+                    (open + 1, close),
+                    &mut locals,
+                    &ctx,
+                    out,
+                );
             }
         }
     }
@@ -870,9 +878,14 @@ fn scan_purity(
     while i < hi {
         if toks[i].kind == TokKind::Ident && toks[i].text == "let" {
             let mut j = i + 1;
-            while j < hi && !(toks[j].kind == TokKind::Punct && matches!(toks[j].text.as_str(), "=" | ";")) {
+            while j < hi
+                && !(toks[j].kind == TokKind::Punct && matches!(toks[j].text.as_str(), "=" | ";"))
+            {
                 if toks[j].kind == TokKind::Ident
-                    && !matches!(toks[j].text.as_str(), "Some" | "Ok" | "Err" | "None" | "mut" | "ref")
+                    && !matches!(
+                        toks[j].text.as_str(),
+                        "Some" | "Ok" | "Err" | "None" | "mut" | "ref"
+                    )
                 {
                     locals.push(toks[j].text.clone());
                 }
@@ -882,7 +895,8 @@ fn scan_purity(
         }
         i += 1;
     }
-    let impure = |line: usize, what: String| Violation {
+    let impure = |line: usize, what: String| {
+        Violation {
         rule: "retry-purity",
         path: path.to_owned(),
         line,
@@ -890,6 +904,7 @@ fn scan_purity(
         message: format!("{what} inside a retried body ({ctx}) — the body re-executes on every validation failure, so its effects must be local"),
         severity: Severity::Error,
         chain: Vec::new(),
+    }
     };
     // Pass 2: the effect scan.
     for i in lo..hi {
@@ -918,7 +933,10 @@ fn scan_purity(
             let mut p = i.saturating_sub(1);
             if p > lo
                 && toks[p].kind == TokKind::Punct
-                && matches!(toks[p].text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "^" | "|")
+                && matches!(
+                    toks[p].text.as_str(),
+                    "+" | "-" | "*" | "/" | "%" | "&" | "^" | "|"
+                )
             {
                 p -= 1;
             }
@@ -942,9 +960,8 @@ fn scan_purity(
             out.push(impure(tok.line, format!("I/O macro `{}!`", tok.text)));
             continue;
         }
-        let is_method = i > lo
-            && toks[i - 1].text == "."
-            && toks.get(i + 1).is_some_and(|t| t.text == "(");
+        let is_method =
+            i > lo && toks[i - 1].text == "." && toks.get(i + 1).is_some_and(|t| t.text == "(");
         if !is_method || !MUTATING_METHODS.contains(&tok.text.as_str()) {
             continue;
         }
@@ -963,7 +980,10 @@ fn scan_purity(
             Some(b) if locals.contains(&b) => {}
             Some(b) => out.push(impure(
                 tok.line,
-                format!("mutating call `.{}()` on `{b}`, which is not local to the body", tok.text),
+                format!(
+                    "mutating call `.{}()` on `{b}`, which is not local to the body",
+                    tok.text
+                ),
             )),
             // Chained receiver (`x.field().push(..)`) — conservatively
             // impure: the chain root cannot be resolved.

@@ -266,15 +266,15 @@ fn retry_purity_flags_impure_closure_and_impure_retry_safe_fn() {
     );
     assert!(violations.iter().all(|v| v.rule == "retry-purity"));
     assert!(
-        violations
-            .iter()
-            .any(|v| v.line == 9 && v.message.contains("fetch_add") && v.message.contains("read_consistent")),
+        violations.iter().any(|v| v.line == 9
+            && v.message.contains("fetch_add")
+            && v.message.contains("read_consistent")),
         "{violations:#?}"
     );
     assert!(
-        violations
-            .iter()
-            .any(|v| v.line == 18 && v.message.contains("push") && v.message.contains("RETRY-SAFE")),
+        violations.iter().any(|v| v.line == 18
+            && v.message.contains("push")
+            && v.message.contains("RETRY-SAFE")),
         "{violations:#?}"
     );
 }
@@ -291,7 +291,10 @@ fn lock_order_cycle_fixture_reports_the_full_cycle_chain() {
     // One witness per edge of the cycle; the last hop is the
     // interprocedural acquisition through `reacquire`.
     assert_eq!(violations[0].chain.len(), 3, "{violations:#?}");
-    assert!(violations[0].chain[2].contains("reacquire"), "{violations:#?}");
+    assert!(
+        violations[0].chain[2].contains("reacquire"),
+        "{violations:#?}"
+    );
 }
 
 #[test]
@@ -377,8 +380,8 @@ fn workspace_audits_clean() {
         report
             .cfg_fns
             .iter()
-            .any(|c| c.path == "crates/rtree/src/olc.rs" && c.fn_name.contains("read_consistent")),
-        "read_consistent must be CFG-analyzed: {:?}",
+            .any(|c| c.path == "crates/rtree/src/olc.rs" && c.fn_name.contains("read_tracked")),
+        "the seqlock retry loop (read_tracked) must be CFG-analyzed: {:?}",
         report.cfg_fns
     );
     assert!(

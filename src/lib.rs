@@ -87,5 +87,7 @@ pub mod prelude {
     pub use gprq_gaussian::cloud::{CloudGrid, SampleCloud};
     pub use gprq_gaussian::Gaussian;
     pub use gprq_linalg::{Matrix, Vector};
-    pub use gprq_rtree::{RStarParams, RTree, Rect};
+    pub use gprq_rtree::{
+        ConcQueryScratch, ConcurrentRTree, ContentionLadder, Phase1Index, RStarParams, RTree, Rect,
+    };
 }
