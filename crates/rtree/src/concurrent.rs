@@ -38,8 +38,10 @@
 //! (a consistent snapshot) or the dead flag (→ restart); it can never
 //! see a half-moved child list. Records are immutable once published,
 //! so validated references stay valid for the tree borrow's lifetime.
-//! The two-level split race is exhaustively model-checked under the
-//! loom shim (`tests/olc_model.rs`, feature `model-check`) and
+//! The two-level split race has its thread interleavings model-checked
+//! under the vendored loom shim (`tests/olc_model.rs`, feature
+//! `model-check` — schedules only, under the host's memory model; see
+//! the [`crate::olc`] module docs for the shim's limits) and is
 //! stress-checked under ThreadSanitizer (`tests/concurrent_props.rs`).
 //!
 //! ```
@@ -113,9 +115,10 @@ pub struct ContentionLadder {
     /// Whole-descent restarts before the reader escalates to the
     /// pessimistic shared-latch path (0 = escalate on first restart).
     pub restart_budget: usize,
-    /// Seed for the deterministic backoff jitter; two readers with
-    /// different salts de-synchronize instead of stampeding in
-    /// lock-step.
+    /// Seed for the deterministic backoff jitter. Mixed with a
+    /// per-thread salt ([`thread_jitter_salt`]) and the contended
+    /// node's id, so concurrent readers stuck on the same node
+    /// de-synchronize instead of stampeding in lock-step.
     pub backoff_seed: u64,
 }
 
@@ -129,13 +132,36 @@ impl Default for ContentionLadder {
     }
 }
 
+/// Per-thread jitter salt, lazily derived from the thread id: the
+/// ladder's `backoff_seed` is per-*tree*, so without a per-thread
+/// component every reader contending on the same node would compute an
+/// identical backoff sequence and retry in lock-step — exactly the
+/// stampede jitter exists to break. `DefaultHasher::new()` uses fixed
+/// keys, so the salt stays deterministic given the thread id and the
+/// ladder keeps its "deterministic seeded jitter" contract.
+fn thread_jitter_salt() -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static SALT: u64 = {
+            let mut h = DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            h.finish() | 1
+        };
+    }
+    SALT.with(|s| *s)
+}
+
 impl ContentionLadder {
     /// Spins for `2^min(attempt, 6)` iterations plus a deterministic
-    /// jitter derived from the seed and `salt`, so retry storms
-    /// de-correlate without any shared RNG state.
+    /// jitter derived from the seed, `salt`, and a per-thread
+    /// component ([`thread_jitter_salt`]), so concurrent readers
+    /// contending on the same node de-correlate instead of retrying in
+    /// lock-step — without any shared RNG state.
     fn backoff(&self, attempt: usize, salt: usize) {
         let exp = attempt.min(6);
         let mut state = self.backoff_seed
+            ^ thread_jitter_salt()
             ^ u64::try_from(salt)
                 .unwrap_or(0)
                 .wrapping_mul(0xA24B_AED4_963E_E407)
@@ -1304,6 +1330,24 @@ mod tests {
         let mut calm = SearchStats::default();
         tree.query_rect_into(&Rect::everything(), &mut calm, &mut out);
         assert_eq!(calm.olc_fallbacks, 0, "storm off: optimistic again");
+    }
+
+    #[test]
+    fn jitter_salt_is_stable_per_thread_and_distinct_across_threads() {
+        let here = thread_jitter_salt();
+        assert_eq!(here, thread_jitter_salt(), "salt must be stable");
+        let salts: Vec<u64> = (0..4)
+            .map(|_| std::thread::spawn(thread_jitter_salt))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("salt thread"))
+            .collect();
+        for (i, s) in salts.iter().enumerate() {
+            assert_ne!(*s, here, "thread {i} collided with the main thread");
+            for other in &salts[i + 1..] {
+                assert_ne!(s, other, "two spawned threads share a salt");
+            }
+        }
     }
 
     #[test]

@@ -20,11 +20,18 @@
 //!   revalidated across a writer (no ABA: the version is a `u64` and
 //!   never decreases).
 //!
-//! The protocol is exhaustively model-checked under the vendored loom
-//! shim (`tests/olc_model.rs`, feature `model-check`: every schedule of
-//! reader/writer races is explored and no torn read survives
-//! validation) and stress-checked under real concurrency — including
-//! the ThreadSanitizer CI lane — in `tests/olc_props.rs`.
+//! The protocol's *interleavings* are model-checked under the vendored
+//! loom shim (`tests/olc_model.rs`, feature `model-check`: every
+//! thread schedule of the reader/writer races is explored and no torn
+//! read survives validation) and stress-checked under real concurrency
+//! — including the ThreadSanitizer CI lane — in `tests/olc_props.rs`.
+//! Note the shim's limits: it wraps plain `std` atomics with yield
+//! points, so it explores schedules under the **host's** memory model
+//! (x86: effectively sequentially consistent for this pattern), not
+//! the C11 weak-memory orderings real loom models. Ordering choices —
+//! in particular the Release fence in [`VersionCell::write_lock`],
+//! which neither the shim, x86, nor TSan can prove necessary — are
+//! justified by the `ORDERING:` comments at each site instead.
 
 // Under `model-check` the atomics come from the vendored loom shim, so
 // every access becomes a scheduling point for the interleaving
@@ -114,7 +121,22 @@ impl VersionCell {
             .word
             .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
         {
-            Ok(_) => Some(WriteGuard { cell: self }),
+            Ok(_) => {
+                // ORDERING: Release fence — the classic seqlock writer
+                // barrier. The CAS above is Acquire-only, which orders
+                // nothing *after* the odd-version store; without this
+                // fence the caller's (Relaxed) payload stores could
+                // become visible to a reader before the odd version
+                // does, letting a torn snapshot pass
+                // `ReadGuard::validate` on weakly-ordered hardware
+                // (ARM). The fence orders the odd-version store before
+                // every subsequent payload store, pairing with the
+                // Acquire fence in `validate`: a reader that observes
+                // any post-lock payload write must also observe the odd
+                // version on its re-read and discard the snapshot.
+                fence(Ordering::Release);
+                Some(WriteGuard { cell: self })
+            }
             Err(_) => None,
         }
     }
