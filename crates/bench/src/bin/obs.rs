@@ -16,9 +16,9 @@
 //! cargo run -p gprq-bench --release --bin obs -- --check   # validate committed JSON
 //! ```
 
-use std::io::Write as _;
 use std::time::Instant;
 
+use gprq_bench::guard::{Bound, Guard};
 use gprq_bench::{road_tree, Args};
 use gprq_core::{MonteCarloEvaluator, PipelineMetrics, PrqExecutor, PrqQuery, StrategySet};
 use gprq_workloads::{eq34_covariance, random_query_centers};
@@ -29,11 +29,19 @@ const SCHEMA: u64 = 1;
 /// Maximum tolerated instrumented/uninstrumented wall-time ratio.
 const BUDGET: f64 = 1.03;
 
+/// The guarded metric: `overhead_ratio` must stay within the budget.
+const GUARD: Guard = Guard {
+    bench: "obs",
+    schema: SCHEMA,
+    metric: "overhead_ratio",
+    bound: Bound::AtMost(BUDGET),
+};
+
 fn main() {
     let args = Args::parse();
     let out = args.get("out", String::from("BENCH_obs.json"));
     if args.flag("check") {
-        check(&out);
+        GUARD.check(&out);
         return;
     }
 
@@ -106,15 +114,10 @@ fn main() {
          \"metrics\": {}\n}}\n",
         indent_json(&snapshot.to_json(), "  "),
     );
-    let mut file = std::fs::File::create(&out).expect("create output file");
-    file.write_all(json.as_bytes()).expect("write output file");
-    println!("wrote {out}");
+    GUARD.write(&out, &json);
 
     // Guard: the whole point of the phase-span/flush-once design.
-    assert!(
-        ratio <= BUDGET,
-        "metrics layer exceeded the overhead budget: {ratio:.4} > {BUDGET}"
-    );
+    GUARD.enforce(ratio);
 }
 
 /// Re-indents the snapshot's own pretty JSON so it nests one level deep.
@@ -128,35 +131,4 @@ fn indent_json(json: &str, pad: &str) -> String {
         out.push_str(line);
     }
     out
-}
-
-/// Validates the committed `BENCH_obs.json`: present, current schema,
-/// and a recorded overhead ratio within budget.
-fn check(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("{path} missing — run the obs bench to regenerate: {e}"));
-    let schema = extract_number(&text, "\"schema\"")
-        .unwrap_or_else(|| panic!("{path} predates the schema field — regenerate"));
-    assert!(
-        (schema - SCHEMA as f64).abs() < f64::EPSILON,
-        "{path} has schema {schema}, expected {SCHEMA} — stale file, regenerate"
-    );
-    let ratio = extract_number(&text, "\"overhead_ratio\"")
-        .unwrap_or_else(|| panic!("{path} lacks overhead_ratio — regenerate"));
-    assert!(
-        ratio <= BUDGET,
-        "{path} records overhead ratio {ratio} > budget {BUDGET}"
-    );
-    println!("{path}: schema {SCHEMA}, overhead ratio {ratio} within budget {BUDGET}");
-}
-
-/// Pulls the number following `"key":` out of the flat JSON file —
-/// enough parser for our own hand-rolled output.
-fn extract_number(text: &str, key: &str) -> Option<f64> {
-    let at = text.find(key)? + key.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

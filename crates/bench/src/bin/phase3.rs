@@ -20,10 +20,10 @@
 //! cargo run -p gprq-bench --release --bin phase3 -- --check   # validate committed JSON
 //! ```
 
-use std::io::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
+use gprq_bench::guard::{Bound, Guard};
 use gprq_bench::Args;
 use gprq_core::ext::parallel::{ParallelIntegrator, Phase3Mode};
 use gprq_core::PrqQuery;
@@ -39,6 +39,14 @@ const SCHEMA: u64 = 1;
 /// Minimum tolerated per-candidate/shared-cloud wall-time ratio.
 const MIN_SPEEDUP: f64 = 5.0;
 
+/// The guarded metric: `speedup` must stay at or above the floor.
+const GUARD: Guard = Guard {
+    bench: "phase3",
+    schema: SCHEMA,
+    metric: "speedup",
+    bound: Bound::AtLeast(MIN_SPEEDUP),
+};
+
 /// Worst acceptable |shared − per-candidate| across candidates: both are
 /// 100 000-sample Monte-Carlo estimates of the same probability, so the
 /// gap is bounded by a few standard errors (σ ≤ 0.5/√n ≈ 0.0016).
@@ -48,7 +56,7 @@ fn main() {
     let args = Args::parse();
     let out = args.get("out", String::from("BENCH_phase3.json"));
     if args.flag("check") {
-        check(&out);
+        GUARD.check(&out);
         return;
     }
 
@@ -135,15 +143,10 @@ fn main() {
          \"min_speedup\": {MIN_SPEEDUP},\n  \"worst_estimate_gap\": {worst_gap:.6},\n  \
          \"max_estimate_gap\": {MAX_ESTIMATE_GAP}\n}}\n"
     );
-    let mut file = std::fs::File::create(&out).expect("create output file");
-    file.write_all(json.as_bytes()).expect("write output file");
-    println!("wrote {out}");
+    GUARD.write(&out, &json);
 
     // Guard: the whole point of drawing the cloud once per query.
-    assert!(
-        speedup >= MIN_SPEEDUP,
-        "shared-cloud engine fell below the speedup floor: {speedup:.2}x < {MIN_SPEEDUP}x"
-    );
+    GUARD.enforce(speedup);
 }
 
 /// A deterministic spiral of candidates around the query center, mixing
@@ -157,35 +160,4 @@ fn spiral_candidates(n: usize) -> Vec<Vector<2>> {
             Vector::from([500.0 + radius * angle.cos(), 500.0 + radius * angle.sin()])
         })
         .collect()
-}
-
-/// Validates the committed `BENCH_phase3.json`: present, current schema,
-/// and a recorded speedup at or above the floor.
-fn check(path: &str) {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("{path} missing — run the phase3 bench to regenerate: {e}"));
-    let schema = extract_number(&text, "\"schema\"")
-        .unwrap_or_else(|| panic!("{path} predates the schema field — regenerate"));
-    assert!(
-        (schema - SCHEMA as f64).abs() < f64::EPSILON,
-        "{path} has schema {schema}, expected {SCHEMA} — stale file, regenerate"
-    );
-    let speedup = extract_number(&text, "\"speedup\"")
-        .unwrap_or_else(|| panic!("{path} lacks speedup — regenerate"));
-    assert!(
-        speedup >= MIN_SPEEDUP,
-        "{path} records speedup {speedup}x < floor {MIN_SPEEDUP}x"
-    );
-    println!("{path}: schema {SCHEMA}, speedup {speedup}x at or above floor {MIN_SPEEDUP}x");
-}
-
-/// Pulls the number following `"key":` out of the flat JSON file —
-/// enough parser for our own hand-rolled output.
-fn extract_number(text: &str, key: &str) -> Option<f64> {
-    let at = text.find(key)? + key.len();
-    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

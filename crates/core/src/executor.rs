@@ -25,7 +25,7 @@ use crate::strategy::StrategySet;
 use crate::theta_region::ThetaRegion;
 use crate::ucatalog::{BfCatalog, RrCatalog};
 use gprq_linalg::Vector;
-use gprq_rtree::{Phase1Index, SearchStats, OLC_DEPTH_BUCKETS};
+use gprq_rtree::{Phase1Index, Rect, SearchStats, OLC_DEPTH_BUCKETS};
 use std::time::{Duration, Instant};
 
 /// Statistics for one query execution.
@@ -136,6 +136,18 @@ impl QueryStats {
         self.phase1_time += other.phase1_time;
         self.phase2_time += other.phase2_time;
         self.phase3_time += other.phase3_time;
+    }
+
+    /// Flushes a Phase-1 [`SearchStats`] into the index-side fields
+    /// (overwriting, not accumulating — the executor calls this once
+    /// per query on freshly zeroed stats).
+    pub(crate) fn absorb_search(&mut self, search: &SearchStats) {
+        self.node_accesses = search.nodes_visited;
+        self.leaf_hits = search.entries_checked;
+        self.olc_attempts = search.olc_attempts;
+        self.olc_retries = search.olc_retries;
+        self.olc_pessimistic_fallbacks = search.olc_fallbacks;
+        self.olc_retry_depth = search.olc_retry_depth;
     }
 
     /// Absorbs a drained [`CloudStats`] block into the cloud fields —
@@ -271,6 +283,12 @@ impl<'c> PrqExecutor<'c> {
         self.strategies
     }
 
+    /// The attached metrics handle, if any — shared with the batch
+    /// executor so fused phases record into the same pipeline.
+    pub(crate) fn metrics(&self) -> Option<&'c PipelineMetrics> {
+        self.metrics
+    }
+
     /// Executes the query against a Phase-1 index of exact target
     /// objects — the single-writer [`RTree`](gprq_rtree::RTree) or the
     /// lock-free-read [`ConcurrentRTree`](gprq_rtree::ConcurrentRTree)
@@ -363,9 +381,56 @@ impl<'c> PrqExecutor<'c> {
     where
         I: Phase1Index<D, T>,
     {
-        self.strategies.validate()?;
+        let plan = self.plan(query)?;
 
-        // --- Preparation: build the enabled filters. -------------------
+        // --- Phase 1: index-based search. ------------------------------
+        let span1 = self.metrics.map(|m| m.phase_span(Phase::Search));
+        let t0 = Instant::now();
+        let search_rect = plan.search_rect(query)?;
+        let QueryScratch {
+            candidates,
+            to_integrate,
+        } = scratch;
+        candidates.clear();
+        to_integrate.clear();
+        if let Some(rect) = search_rect {
+            let mut search_stats = SearchStats::default();
+            tree.search_rect_into(&rect, &mut search_stats, candidates);
+            stats.absorb_search(&search_stats);
+        }
+        stats.phase1_candidates = candidates.len();
+        stats.phase1_time = t0.elapsed();
+        if let Some(span) = span1 {
+            span.finish();
+        }
+
+        // --- Phase 2: filtering. ---------------------------------------
+        let span2 = self.metrics.map(|m| m.phase_span(Phase::Filter));
+        let t1 = Instant::now();
+        plan.filter_candidates(query, candidates, stats, answers, to_integrate);
+        stats.phase2_time = t1.elapsed();
+        if let Some(span) = span2 {
+            span.finish();
+        }
+        Ok(())
+    }
+
+    /// Builds the per-query [`PreparedQuery`] — strategy validation plus the
+    /// owned θ-region and BF bounds — shared by the solo path above and
+    /// the batch executor (`crate::batch`), so both run Phases 1–2
+    /// through the identical code.
+    ///
+    /// # Errors
+    ///
+    /// [`PrqError::NoPrimaryStrategy`],
+    /// [`PrqError::ThetaRegionUndefined`], or
+    /// [`PrqError::CatalogDimensionMismatch`] — the same preconditions
+    /// as [`PrqExecutor::execute`].
+    pub(crate) fn plan<const D: usize>(
+        &self,
+        query: &PrqQuery<D>,
+    ) -> Result<PreparedQuery<D>, PrqError> {
+        self.strategies.validate()?;
         let needs_region = self.strategies.rr || self.strategies.or;
         let region: Option<ThetaRegion<D>> = if needs_region {
             let r_theta = match self.rr_catalog {
@@ -382,18 +447,6 @@ impl<'c> PrqExecutor<'c> {
         } else {
             None
         };
-        // Binding the filters under one `match` ties their construction
-        // to the region's existence: `region` is `Some` exactly when
-        // `rr || or`, so neither arm can observe a missing region.
-        let (rr_filter, or_filter): (Option<RrFilter<'_, D>>, Option<OrFilter<D>>) = match &region {
-            Some(reg) => (
-                self.strategies
-                    .rr
-                    .then(|| RrFilter::new(query, reg, self.fringe_mode)),
-                self.strategies.or.then(|| OrFilter::new(query, reg)),
-            ),
-            None => (None, None),
-        };
         let bf_bounds: Option<BfBounds<D>> = if self.strategies.bf {
             Some(match self.bf_catalog {
                 Some(cat) => BfBounds::from_catalog(query, cat)?,
@@ -402,45 +455,82 @@ impl<'c> PrqExecutor<'c> {
         } else {
             None
         };
+        Ok(PreparedQuery {
+            strategies: self.strategies,
+            fringe_mode: self.fringe_mode,
+            region,
+            bf_bounds,
+        })
+    }
+}
 
-        // --- Phase 1: index-based search. ------------------------------
-        let span1 = self.metrics.map(|m| m.phase_span(Phase::Search));
-        let t0 = Instant::now();
-        let search_rect = match (&rr_filter, &bf_bounds) {
-            (Some(rr), _) => Some(rr.search_rect()),
-            // BF is the primary (Algorithm 2, line 6). A `None` rect here
-            // is the provably-empty case.
-            (None, Some(bf)) => bf.search_rect(),
-            // `validate()` guarantees RR or BF is enabled; surfaced as an
-            // error rather than a panic per the panic-free audit rule.
-            (None, None) => return Err(PrqError::NoPrimaryStrategy),
-        };
-        let QueryScratch {
-            candidates,
-            to_integrate,
-        } = scratch;
-        candidates.clear();
-        to_integrate.clear();
-        if let Some(rect) = search_rect {
-            let mut search_stats = SearchStats::default();
-            tree.search_rect_into(&rect, &mut search_stats, candidates);
-            stats.node_accesses = search_stats.nodes_visited;
-            stats.leaf_hits = search_stats.entries_checked;
-            stats.olc_attempts = search_stats.olc_attempts;
-            stats.olc_retries = search_stats.olc_retries;
-            stats.olc_pessimistic_fallbacks = search_stats.olc_fallbacks;
-            stats.olc_retry_depth = search_stats.olc_retry_depth;
-        }
-        stats.phase1_candidates = candidates.len();
-        stats.phase1_time = t0.elapsed();
-        if let Some(span) = span1 {
-            span.finish();
-        }
+/// The owned, query-specific part of Phases 1–2: the θ-region and BF
+/// bounds an executor derived for one query, plus the strategy knobs
+/// needed to rebuild the borrowing filters on demand.
+///
+/// [`RrFilter`]/[`OrFilter`] borrow the region, so the plan stores the
+/// region and reconstructs the filters (cheap, deterministic) inside
+/// each entry point instead of holding self-referential borrows. Both
+/// the solo executor and the batch executor drive their Phase-1 probe
+/// and Phase-2 loop through this type, which is what makes batch/solo
+/// parity structural rather than coincidental.
+#[derive(Debug)]
+pub(crate) struct PreparedQuery<const D: usize> {
+    strategies: StrategySet,
+    fringe_mode: FringeMode,
+    region: Option<ThetaRegion<D>>,
+    bf_bounds: Option<BfBounds<D>>,
+}
 
-        // --- Phase 2: filtering. ---------------------------------------
-        let span2 = self.metrics.map(|m| m.phase_span(Phase::Filter));
-        let t1 = Instant::now();
-        'candidates: for &(point, data) in candidates.iter() {
+impl<const D: usize> PreparedQuery<D> {
+    /// The Phase-1 search rectangle: RR's Minkowski box when RR is
+    /// enabled, else BF's `α∥` box (Algorithm 2, line 6). `Ok(None)` is
+    /// the provably-empty case — skip Phase 1 entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`PrqError::NoPrimaryStrategy`] if neither RR nor BF is enabled
+    /// (surfaced as an error rather than a panic per the panic-free
+    /// audit rule; `StrategySet::validate` normally rejects this first).
+    pub(crate) fn search_rect(&self, query: &PrqQuery<D>) -> Result<Option<Rect<D>>, PrqError> {
+        if self.strategies.rr {
+            if let Some(reg) = &self.region {
+                let rr = RrFilter::new(query, reg, self.fringe_mode);
+                return Ok(Some(rr.search_rect()));
+            }
+        }
+        match &self.bf_bounds {
+            Some(bf) => Ok(bf.search_rect()),
+            None => Err(PrqError::NoPrimaryStrategy),
+        }
+    }
+
+    /// The Phase-2 loop: runs every candidate through the enabled
+    /// filters in cheapest-first order (RR fringe, OR oblique box, BF
+    /// classification), appending BF sure-accepts to `answers` and
+    /// survivors to `to_integrate`, with pruning counters in `stats`.
+    pub(crate) fn filter_candidates<'t, T>(
+        &self,
+        query: &PrqQuery<D>,
+        candidates: &[(&'t Vector<D>, &'t T)],
+        stats: &mut QueryStats,
+        answers: &mut Vec<(&'t Vector<D>, &'t T)>,
+        to_integrate: &mut Vec<(&'t Vector<D>, &'t T)>,
+    ) {
+        // Binding the filters under one `match` ties their construction
+        // to the region's existence: `region` is `Some` exactly when
+        // `rr || or`, so neither arm can observe a missing region.
+        let (rr_filter, or_filter): (Option<RrFilter<'_, D>>, Option<OrFilter<D>>) =
+            match &self.region {
+                Some(reg) => (
+                    self.strategies
+                        .rr
+                        .then(|| RrFilter::new(query, reg, self.fringe_mode)),
+                    self.strategies.or.then(|| OrFilter::new(query, reg)),
+                ),
+                None => (None, None),
+            };
+        'candidates: for &(point, data) in candidates {
             if let Some(rr) = &rr_filter {
                 if !rr.passes(point) {
                     stats.pruned_by_fringe += 1;
@@ -454,7 +544,7 @@ impl<'c> PrqExecutor<'c> {
                     continue 'candidates;
                 }
             }
-            if let Some(bf) = &bf_bounds {
+            if let Some(bf) = &self.bf_bounds {
                 match bf.classify(point) {
                     BfClass::Reject => {
                         stats.pruned_by_bf += 1;
@@ -470,11 +560,6 @@ impl<'c> PrqExecutor<'c> {
             }
             to_integrate.push((point, data));
         }
-        stats.phase2_time = t1.elapsed();
-        if let Some(span) = span2 {
-            span.finish();
-        }
-        Ok(())
     }
 }
 

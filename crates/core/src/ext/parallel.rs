@@ -42,6 +42,20 @@ pub enum Phase3Mode {
     PerCandidate,
 }
 
+/// One query's share of a fused batch Phase 3: its immutable grid, the
+/// candidate block to probe, and the query's `δ`. Built by the batch
+/// executor (`crate::batch`), consumed by
+/// [`ParallelIntegrator::batch_probabilities`].
+#[derive(Debug)]
+pub(crate) struct BatchPhase3Item<'a, const D: usize> {
+    /// The query's grid-indexed sample cloud.
+    pub grid: &'a CloudGrid<D>,
+    /// Candidate centers surviving Phases 1–2, in work-list order.
+    pub candidates: &'a [Vector<D>],
+    /// The query's range radius `δ`.
+    pub delta: f64,
+}
+
 /// Configuration for parallel qualification evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelIntegrator {
@@ -252,6 +266,93 @@ impl ParallelIntegrator {
             }
         });
         out
+    }
+
+    /// Fused batch Phase 3: workers partition the **flattened**
+    /// `(query, candidate)` space — the whole batch's work, not one
+    /// query's — so a batch with many small candidate lists still keeps
+    /// every worker busy. Returns per-query probability vectors (same
+    /// order as `items[q].candidates`) and per-query [`CloudStats`]
+    /// accumulated from that query's probes.
+    ///
+    /// Parity: each probe is a pure function of the query's immutable
+    /// grid, the candidate, and `delta`, and the per-query stats are
+    /// commutative integer sums over that query's candidates — so both
+    /// outputs are bit-identical across thread counts and worker
+    /// layouts, exactly like the solo shared-cloud path.
+    pub(crate) fn batch_probabilities<const D: usize>(
+        &self,
+        items: &[BatchPhase3Item<'_, D>],
+        metrics: Option<&PipelineMetrics>,
+    ) -> (Vec<Vec<f64>>, Vec<CloudStats>) {
+        let n_queries = items.len();
+        let mut prefix = Vec::with_capacity(n_queries + 1);
+        prefix.push(0usize);
+        for item in items {
+            let last = *prefix.last().unwrap_or(&0);
+            prefix.push(last + item.candidates.len());
+        }
+        let total = *prefix.last().unwrap_or(&0);
+        let mut query_stats = vec![CloudStats::default(); n_queries];
+        if total == 0 {
+            return (vec![Vec::new(); n_queries], query_stats);
+        }
+        if let Some(m) = metrics {
+            m.record_parallel_objects(total);
+        }
+        let mut flat = vec![0.0f64; total];
+        let workers = self.worker_count().min(total);
+        let chunk = total.div_ceil(workers);
+        let mut worker_stats = vec![vec![CloudStats::default(); n_queries]; workers];
+        let prefix = &prefix;
+        std::thread::scope(|scope| {
+            for ((w, out_chunk), locals) in flat
+                .chunks_mut(chunk)
+                .enumerate()
+                .zip(worker_stats.iter_mut())
+            {
+                let start = w * chunk;
+                scope.spawn(move || {
+                    // INVARIANT: the flat index → (query, candidate)
+                    // mapping depends only on the batch's candidate
+                    // counts, never on the worker layout, and every
+                    // worker reads immutable per-query grids — so the
+                    // probability written to each slot is layout-free.
+                    let mut qi = 0usize;
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        let f = start + offset;
+                        while f >= prefix[qi + 1] {
+                            qi += 1;
+                        }
+                        let item = &items[qi];
+                        *slot = item.grid.probability_with_stats(
+                            &item.candidates[f - prefix[qi]],
+                            item.delta,
+                            &mut locals[qi],
+                        );
+                    }
+                    // One histogram write per worker, after its loop, as
+                    // on the solo shared-cloud path.
+                    if let Some(m) = metrics {
+                        let tested = locals.iter().map(|s| s.samples_tested).sum();
+                        m.record_worker_samples(tested);
+                    }
+                });
+            }
+        });
+        // Fold per-worker tallies per query. The fields are commutative
+        // integer sums, so the fold order cannot affect the result.
+        for locals in &worker_stats {
+            for (dst, src) in query_stats.iter_mut().zip(locals.iter()) {
+                dst.merge(src);
+            }
+        }
+        let per_query = items
+            .iter()
+            .enumerate()
+            .map(|(q, _)| flat[prefix[q]..prefix[q + 1]].to_vec())
+            .collect();
+        (per_query, query_stats)
     }
 
     /// Convenience: returns which candidates qualify (`p ≥ θ`).

@@ -34,20 +34,25 @@ pub enum FaultSite {
     /// the OLC retry ladder (and its pessimistic fallback) is forced
     /// to absorb worst-case contention.
     OlcConflict,
+    /// A batch member is aborted mid-batch: the batch executor drops the
+    /// affected query from the fused Phase-3 pass and recovers it through
+    /// the solo re-run path, leaving every other member untouched.
+    BatchAbort,
 }
 
 impl FaultSite {
     /// All sites, in a fixed order (used to derive per-site schedules
-    /// from a seed). `OlcConflict` sits last so seeds from before its
-    /// introduction still derive the same schedules for the first
-    /// five sites.
-    pub const ALL: [FaultSite; 6] = [
+    /// from a seed). This list is append-only: `BatchAbort` sits last so
+    /// seeds from before its introduction still derive the same
+    /// schedules for the earlier sites.
+    pub const ALL: [FaultSite; 7] = [
         FaultSite::CatalogLookup,
         FaultSite::Phase1Traversal,
         FaultSite::Evaluator,
         FaultSite::SampleStarvation,
         FaultSite::SigmaDegeneracy,
         FaultSite::OlcConflict,
+        FaultSite::BatchAbort,
     ];
 }
 
@@ -60,6 +65,7 @@ impl fmt::Display for FaultSite {
             FaultSite::SampleStarvation => write!(f, "sample-starvation"),
             FaultSite::SigmaDegeneracy => write!(f, "sigma-degeneracy"),
             FaultSite::OlcConflict => write!(f, "olc-conflict"),
+            FaultSite::BatchAbort => write!(f, "batch-abort"),
         }
     }
 }
@@ -106,6 +112,7 @@ pub struct FaultPlan {
     starvation: SiteState,
     sigma: SiteState,
     olc_conflict: SiteState,
+    batch_abort: SiteState,
 }
 
 /// `splitmix64` — the standard seed expander; deterministic and cheap.
@@ -161,6 +168,7 @@ impl FaultPlan {
             FaultSite::SampleStarvation => self.starvation.schedule,
             FaultSite::SigmaDegeneracy => self.sigma.schedule,
             FaultSite::OlcConflict => self.olc_conflict.schedule,
+            FaultSite::BatchAbort => self.batch_abort.schedule,
         }
     }
 
@@ -173,6 +181,7 @@ impl FaultPlan {
             FaultSite::SampleStarvation => self.starvation.hits,
             FaultSite::SigmaDegeneracy => self.sigma.hits,
             FaultSite::OlcConflict => self.olc_conflict.hits,
+            FaultSite::BatchAbort => self.batch_abort.hits,
         }
     }
 
@@ -193,6 +202,7 @@ impl FaultPlan {
             FaultSite::SampleStarvation => &mut self.starvation,
             FaultSite::SigmaDegeneracy => &mut self.sigma,
             FaultSite::OlcConflict => &mut self.olc_conflict,
+            FaultSite::BatchAbort => &mut self.batch_abort,
         }
     }
 }
@@ -256,7 +266,8 @@ mod tests {
                 "evaluator",
                 "sample-starvation",
                 "sigma-degeneracy",
-                "olc-conflict"
+                "olc-conflict",
+                "batch-abort"
             ]
         );
     }

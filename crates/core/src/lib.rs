@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cost;
 pub mod error;
 pub mod evaluator;
@@ -65,6 +66,7 @@ pub mod strategy;
 pub mod theta_region;
 pub mod ucatalog;
 
+pub use batch::{cloud_seed, BatchOutcome, QueryBatch, SigmaFactorCache};
 pub use cost::{expected_integrations, region_volumes, DensityEstimate, RegionVolumes};
 pub use error::PrqError;
 pub use evaluator::{

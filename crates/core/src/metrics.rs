@@ -104,6 +104,20 @@ pub mod names {
     /// Histogram: per-node OLC retry depth (log₂-bucketed; bucket 0 is
     /// first-attempt validation).
     pub const OLC_RETRY_DEPTH: &str = "prq_olc_retry_depth";
+    /// Counter: query batches executed (one per `QueryBatch::execute`).
+    pub const BATCHES: &str = "prq_batches_total";
+    /// Counter: queries executed through the batch planner.
+    pub const BATCH_QUERIES: &str = "prq_batch_queries_total";
+    /// Counter: batch queries whose Σ-keyed factor/offset table was
+    /// already cached by an earlier group member (Cholesky + sample
+    /// offsets reused, Box–Muller skipped).
+    pub const BATCH_SIGMA_CACHE_HITS: &str = "prq_batch_sigma_cache_hits";
+    /// Counter: batch queries that had to draw a fresh Σ-group offset
+    /// table (first member of the group, or evicted entry).
+    pub const BATCH_SIGMA_CACHE_MISSES: &str = "prq_batch_sigma_cache_misses";
+    /// Counter: batch members lost to an injected/internal fault and
+    /// recovered through the solo re-run path (every hop reported).
+    pub const BATCH_ABORTS: &str = "prq_batch_aborts_total";
 }
 
 /// The paper's three query-processing phases, used to label spans.
@@ -163,6 +177,11 @@ pub struct PipelineMetrics {
     olc_retries: Arc<Counter>,
     olc_pessimistic_fallbacks: Arc<Counter>,
     olc_retry_depth: Arc<Histogram>,
+    batches: Arc<Counter>,
+    batch_queries: Arc<Counter>,
+    batch_sigma_cache_hits: Arc<Counter>,
+    batch_sigma_cache_misses: Arc<Counter>,
+    batch_aborts: Arc<Counter>,
 }
 
 impl Default for PipelineMetrics {
@@ -215,6 +234,11 @@ impl PipelineMetrics {
             olc_retries: registry.counter(names::OLC_RETRIES),
             olc_pessimistic_fallbacks: registry.counter(names::OLC_PESSIMISTIC_FALLBACKS),
             olc_retry_depth: registry.histogram(names::OLC_RETRY_DEPTH),
+            batches: registry.counter(names::BATCHES),
+            batch_queries: registry.counter(names::BATCH_QUERIES),
+            batch_sigma_cache_hits: registry.counter(names::BATCH_SIGMA_CACHE_HITS),
+            batch_sigma_cache_misses: registry.counter(names::BATCH_SIGMA_CACHE_MISSES),
+            batch_aborts: registry.counter(names::BATCH_ABORTS),
             registry,
             clock,
         }
@@ -329,6 +353,23 @@ impl PipelineMetrics {
     /// Records how many candidate objects a parallel run fanned out.
     pub fn record_parallel_objects(&self, objects: usize) {
         self.parallel_objects.add(as_u64(objects));
+    }
+
+    /// Records one finished batch: the batch itself, how many queries it
+    /// carried, and the Σ-cache hit/miss split (hits + misses == queries
+    /// on the cloud path).
+    pub fn record_batch(&self, queries: usize, sigma_cache_hits: usize, sigma_cache_misses: usize) {
+        self.batches.inc();
+        self.batch_queries.add(as_u64(queries));
+        self.batch_sigma_cache_hits.add(as_u64(sigma_cache_hits));
+        self.batch_sigma_cache_misses
+            .add(as_u64(sigma_cache_misses));
+    }
+
+    /// Records one batch member lost to a fault and recovered by the
+    /// solo re-run path.
+    pub fn record_batch_abort(&self) {
+        self.batch_aborts.inc();
     }
 }
 
@@ -479,6 +520,20 @@ mod tests {
         assert_eq!(snap.counter(names::RESILIENCE_FALLBACK_HOPS), Some(2));
         assert_eq!(snap.counter(names::RESILIENCE_EVALUATOR_FAULTS), Some(5));
         assert_eq!(snap.counter(names::RESILIENCE_BUDGET_EXHAUSTED), Some(1));
+    }
+
+    #[test]
+    fn batch_recording() {
+        let m = PipelineMetrics::new();
+        m.record_batch(16, 14, 2);
+        m.record_batch(4, 0, 4);
+        m.record_batch_abort();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter(names::BATCHES), Some(2));
+        assert_eq!(snap.counter(names::BATCH_QUERIES), Some(20));
+        assert_eq!(snap.counter(names::BATCH_SIGMA_CACHE_HITS), Some(14));
+        assert_eq!(snap.counter(names::BATCH_SIGMA_CACHE_MISSES), Some(6));
+        assert_eq!(snap.counter(names::BATCH_ABORTS), Some(1));
     }
 
     #[test]

@@ -224,10 +224,15 @@ fn every_site_firing_always_is_survivable() {
             }
             // CatalogLookup with no catalogs configured,
             // SampleStarvation against a zero-sample exact evaluator,
-            // and OlcConflict over the single-writer tree (no
-            // optimistic reads to invalidate) are no-ops — surviving
-            // them is the whole assertion.
-            FaultSite::CatalogLookup | FaultSite::SampleStarvation | FaultSite::OlcConflict => {}
+            // OlcConflict over the single-writer tree (no optimistic
+            // reads to invalidate), and BatchAbort outside a batch
+            // executor are no-ops — surviving them is the whole
+            // assertion. (BatchAbort's real behavior is pinned by
+            // `batch_abort_degrades_only_affected_queries` below.)
+            FaultSite::CatalogLookup
+            | FaultSite::SampleStarvation
+            | FaultSite::OlcConflict
+            | FaultSite::BatchAbort => {}
         }
     }
 }
@@ -328,6 +333,89 @@ fn seeded_fault_plans_with_monte_carlo_never_panic() {
             .unwrap_or(0);
         assert_eq!(faulted, reported_faults, "{label}");
     }
+}
+
+/// ISSUE-9 chaos headline: a fault tripping **mid-batch** must degrade
+/// only the affected queries. Tripped queries are dropped from the
+/// fused Phase-3 pass and recovered through the solo re-run path with
+/// the same derived cloud seed, so *every* query — tripped or not —
+/// still answers bitwise identically to the fault-free batch; the only
+/// observable differences are the `recovered` flags and the
+/// `prq_batch_aborts_total` counter (every hop reported).
+#[test]
+fn batch_abort_degrades_only_affected_queries() {
+    use gprq_core::ext::parallel::ParallelIntegrator;
+    use gprq_core::metrics::names;
+    use gprq_core::{PipelineMetrics, PrqExecutor, QueryBatch};
+
+    let tree = chaos_tree(2_000, 7);
+    let queries: Vec<PrqQuery<2>> = (0..6)
+        .map(|i| {
+            PrqQuery::new(
+                Vector::from([350.0 + 60.0 * i as f64, 480.0]),
+                sigma_paper(),
+                DELTA,
+                THETA,
+            )
+            .unwrap()
+        })
+        .collect();
+    let integrator = ParallelIntegrator::new(20_000, 404, 1).unwrap();
+
+    // Fault-free baseline batch.
+    let mut clean_batch = QueryBatch::new(PrqExecutor::new(StrategySet::ALL), integrator);
+    let clean: Vec<_> = clean_batch.execute(&tree, &queries).unwrap();
+
+    // Every second query trips the BatchAbort site.
+    let metrics = PipelineMetrics::new();
+    let mut batch = QueryBatch::new(
+        PrqExecutor::new(StrategySet::ALL).with_metrics(&metrics),
+        integrator,
+    );
+    let mut plan =
+        FaultPlan::quiet().with_schedule(FaultSite::BatchAbort, FaultSchedule::EveryNth(2));
+    let faulted: Vec<_> = batch
+        .execute_with_faults(&tree, &queries, &mut plan)
+        .expect("a mid-batch fault must degrade, not error");
+
+    assert_eq!(faulted.len(), clean.len());
+    let recovered: Vec<bool> = faulted.iter().map(|o| o.recovered).collect();
+    assert!(recovered.iter().any(|&r| r), "some queries must trip");
+    assert!(recovered.iter().any(|&r| !r), "some queries must survive");
+    for (q, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+        assert!(!c.recovered, "fault-free batch must not recover anything");
+        let c_ids: Vec<usize> = c.answers.iter().map(|(_, d)| **d).collect();
+        let f_ids: Vec<usize> = f.answers.iter().map(|(_, d)| **d).collect();
+        assert_eq!(c_ids, f_ids, "query {q}: abort changed the answer set");
+        assert_eq!(
+            c.probabilities.len(),
+            f.probabilities.len(),
+            "query {q}: abort changed the work list"
+        );
+        let same = c
+            .probabilities
+            .iter()
+            .zip(&f.probabilities)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "query {q}: recovery diverged from the fused pass");
+        assert_eq!(f.stats.integrations, c.stats.integrations, "query {q}");
+        assert_eq!(f.stats.cloud_builds, c.stats.cloud_builds, "query {q}");
+    }
+    assert!(
+        !faulted.iter().all(|o| o.integrated.is_empty()),
+        "the batch must actually integrate something"
+    );
+
+    // Every hop reported: one abort tick per recovered query, one
+    // record_query flush per query, one batch record.
+    let aborts = u64::try_from(recovered.iter().filter(|&&r| r).count()).unwrap();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter(names::BATCH_ABORTS), Some(aborts));
+    assert_eq!(
+        snap.counter(names::BATCH_QUERIES),
+        Some(u64::try_from(queries.len()).unwrap())
+    );
+    assert_eq!(snap.counter(names::BATCHES), Some(1));
 }
 
 /// Maps the plan's `OlcConflict` schedule to the concurrent tree's

@@ -37,8 +37,8 @@
 //! uncounted one can sneak in. The `cloud_grid` test suite pins this.
 
 use crate::mvn::Gaussian;
-use crate::sampler::GaussianSampler;
-use gprq_linalg::Vector;
+use crate::sampler::{GaussianSampler, StandardNormal};
+use gprq_linalg::{Cholesky, Vector};
 use rand::Rng;
 use std::num::NonZeroUsize;
 
@@ -117,6 +117,51 @@ impl<const D: usize> SampleCloud<D> {
                 col.push(v);
             }
         }
+        SampleCloud { coords }
+    }
+
+    /// Draws `n_samples` *mean-free offsets* `w_j = L·z_j` for a
+    /// Cholesky factor `L`, in SoA layout (`offsets[d][j]` is coordinate
+    /// `d` of offset `j`). The `z_j` stream comes from one fresh
+    /// [`StandardNormal`] whose Box–Muller spare persists across draws —
+    /// exactly the stream a fresh [`GaussianSampler`] would consume.
+    ///
+    /// This is the batch executor's Σ-group cache primitive: queries
+    /// sharing a covariance (hence, bitwise, a factor `L`) share one
+    /// offset table and re-center it per query with
+    /// [`SampleCloud::from_offsets`]. Because [`GaussianSampler::sample`]
+    /// materializes `L·z` as a vector *before* the single component-wise
+    /// add of the mean, `from_offsets(mean, draw_offsets(L, n, rng))` is
+    /// bitwise identical to [`SampleCloud::draw`] from the same `rng`
+    /// state — the parity tests below pin this.
+    pub fn draw_offsets<R: Rng + ?Sized>(
+        chol: &Cholesky<D>,
+        n_samples: NonZeroUsize,
+        rng: &mut R,
+    ) -> [Vec<f64>; D] {
+        let n = n_samples.get();
+        let mut offsets: [Vec<f64>; D] = std::array::from_fn(|_| Vec::with_capacity(n));
+        let mut standard = StandardNormal::new();
+        for _ in 0..n {
+            let z: Vector<D> = standard.sample_vector(rng);
+            let w = chol.apply(&z);
+            for (col, &v) in offsets.iter_mut().zip(w.as_slice()) {
+                col.push(v);
+            }
+        }
+        offsets
+    }
+
+    /// Builds a cloud by re-centering an offset table from
+    /// [`SampleCloud::draw_offsets`]: sample `j` is `mean + w_j`,
+    /// computed with the same component-wise add as the sampler, so the
+    /// result is bitwise identical to drawing fresh from the same `rng`
+    /// state with a [`Gaussian`] carrying that mean and factor.
+    pub fn from_offsets(mean: &Vector<D>, offsets: &[Vec<f64>; D]) -> Self {
+        let coords: [Vec<f64>; D] = std::array::from_fn(|d| {
+            let m = mean[d];
+            offsets[d].iter().map(|&w| m + w).collect()
+        });
         SampleCloud { coords }
     }
 
@@ -253,9 +298,14 @@ fn count_hits<const D: usize>(
 /// Clamped float→index conversion for grid coordinates: `t` is floored,
 /// then clamped to `[0, max_index]`, so the cast is total (NaN and both
 /// infinities land on a valid index).
+///
+/// Implemented as a saturating cast, which computes the same value
+/// without the libm `floor` call: `as usize` maps NaN and negatives to
+/// 0, truncates non-negative values (truncation = floor there), and
+/// saturates +∞/overflow at `usize::MAX`, which the `min` then clamps —
+/// case for case what floor-max-min-cast produced.
 fn grid_slot(t: f64, max_index: usize) -> usize {
-    let clamped = t.floor().max(0.0).min(max_index as f64);
-    clamped as usize
+    (t as usize).min(max_index)
 }
 
 /// A uniform grid over a [`SampleCloud`], with samples reordered cell by
@@ -291,16 +341,44 @@ impl<const D: usize> CloudGrid<D> {
     /// Indexes `cloud` (copying its samples into cell order). Infallible
     /// and panic-free for every cloud [`SampleCloud::draw`] can build.
     pub fn build(cloud: &SampleCloud<D>) -> Self {
-        let n = cloud.len();
-        let source = cloud.columns();
+        Self::build_grid::<false>(cloud.columns(), &[0.0; D])
+    }
+
+    /// Indexes the re-centering of an offset table from
+    /// [`SampleCloud::draw_offsets`] without materializing the
+    /// intermediate cloud: every pass adds `mean` on the fly, with the
+    /// same component-wise `mean + offset` add as
+    /// [`SampleCloud::from_offsets`], so the grid — layout, bounds, and
+    /// every downstream probability — is bitwise identical to
+    /// `build(&SampleCloud::from_offsets(mean, offsets))`. The batch
+    /// executor's Σ-cache hit path uses this to skip one full
+    /// `n × D` allocate-write-read round trip per query.
+    pub fn build_recentered(mean: &Vector<D>, offsets: &[Vec<f64>; D]) -> Self {
+        let mut shift = [0.0f64; D];
+        for (s, &m) in shift.iter_mut().zip(mean.as_slice()) {
+            *s = m;
+        }
+        Self::build_grid::<true>(offsets, &shift)
+    }
+
+    /// The shared build body. With `SHIFT` false the shift is all
+    /// zeros and every element is used as stored; with `SHIFT` true
+    /// each element of column `d` is read as `shift[d] + x` in every
+    /// pass — the same float add producing the same value each time,
+    /// so the two modes agree whenever the shifted input equals the
+    /// unshifted one.
+    fn build_grid<const SHIFT: bool>(source: &[Vec<f64>; D], shift: &[f64; D]) -> Self {
+        let n = source.first().map_or(0, Vec::len);
 
         // Tight bounding box of the cloud, per axis.
         let mut origin = [0.0f64; D];
         let mut upper = [0.0f64; D];
         for (d, col) in source.iter().enumerate() {
+            let m = shift[d];
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
-            for &x in col {
+            for &raw in col {
+                let x = if SHIFT { m + raw } else { raw };
                 lo = lo.min(x);
                 hi = hi.max(x);
             }
@@ -336,34 +414,82 @@ impl<const D: usize> CloudGrid<D> {
             cells = cells.saturating_mul(res[d]);
         }
 
-        // Counting sort into cell order.
+        // Counting sort into cell order, organized dimension-major for
+        // cache residency in high dimensions. Cell indexing runs the
+        // `cell = cell·res_d + slot_d` fold one axis at a time over all
+        // samples — the same indices a per-sample fold produces, but
+        // the inner loop's iterations are independent, so the float
+        // chain (sub, mul, saturating cast) pipelines across samples
+        // instead of serializing across axes. The destination slot
+        // (`pos`) is then fixed per sample and the scatter runs one
+        // column at a time, its random writes confined to a single
+        // `n`-float column; each column's per-cell bounds are reduced
+        // immediately after its scatter, while the column is still
+        // cache-hot. The permutation is the same stable cursor order as
+        // a fused per-sample scatter, and min/max over the same sample
+        // set is order-independent, so the layout, the bounds, and
+        // every downstream probability are unchanged.
+        let mut cell_idx = vec![0usize; n];
+        for d in 0..D {
+            let (o, iw, r, m) = (origin[d], inv_width[d], res[d], shift[d]);
+            let max_index = r - 1;
+            if d == 0 {
+                for (slot, &raw) in cell_idx.iter_mut().zip(&source[d]) {
+                    let x = if SHIFT { m + raw } else { raw };
+                    *slot = grid_slot((x - o) * iw, max_index);
+                }
+            } else {
+                for (slot, &raw) in cell_idx.iter_mut().zip(&source[d]) {
+                    let x = if SHIFT { m + raw } else { raw };
+                    *slot = *slot * r + grid_slot((x - o) * iw, max_index);
+                }
+            }
+        }
         let mut cell_start = vec![0usize; cells + 1];
-        for i in 0..n {
-            let c = cell_of(source, i, &origin, &inv_width, &res);
-            if let Some(slot) = cell_start.get_mut(c + 1) {
-                *slot += 1;
+        for &c in &cell_idx {
+            if let Some(count) = cell_start.get_mut(c + 1) {
+                *count += 1;
             }
         }
         for c in 1..cell_start.len() {
             cell_start[c] += cell_start[c - 1];
         }
         let mut cursor = cell_start.clone();
+        let mut pos = vec![0usize; n];
+        for (slot, &c) in pos.iter_mut().zip(&cell_idx) {
+            let Some(next) = cursor.get_mut(c) else {
+                continue;
+            };
+            *slot = *next;
+            *next += 1;
+        }
         let mut cols: [Vec<f64>; D] = std::array::from_fn(|_| vec![0.0f64; n]);
         let mut cell_min = vec![f64::INFINITY; cells * D];
         let mut cell_max = vec![f64::NEG_INFINITY; cells * D];
-        for i in 0..n {
-            let c = cell_of(source, i, &origin, &inv_width, &res);
-            let Some(pos_slot) = cursor.get_mut(c) else {
-                continue;
-            };
-            let pos = *pos_slot;
-            *pos_slot += 1;
-            for d in 0..D {
-                let v = source[d][i];
-                cols[d][pos] = v;
+        for (d, (col, src)) in cols.iter_mut().zip(source).enumerate() {
+            let m = shift[d];
+            for (&p, &raw) in pos.iter().zip(src) {
+                let v = if SHIFT { m + raw } else { raw };
+                if let Some(out) = col.get_mut(p) {
+                    *out = v;
+                }
+            }
+            for c in 0..cells {
+                let (Some(&start), Some(&end)) = (cell_start.get(c), cell_start.get(c + 1)) else {
+                    continue;
+                };
+                let Some(seg) = col.get(start..end) else {
+                    continue;
+                };
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &v in seg {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
                 let at = c * D + d;
-                cell_min[at] = cell_min[at].min(v);
-                cell_max[at] = cell_max[at].max(v);
+                cell_min[at] = lo;
+                cell_max[at] = hi;
             }
         }
 
@@ -525,23 +651,6 @@ impl<const D: usize> CloudGrid<D> {
     }
 }
 
-/// Linear cell index of sample `i` (row-major over the per-axis slots).
-fn cell_of<const D: usize>(
-    cols: &[Vec<f64>; D],
-    i: usize,
-    origin: &[f64; D],
-    inv_width: &[f64; D],
-    res: &[usize; D],
-) -> usize {
-    let mut cell = 0usize;
-    for d in 0..D {
-        let x = cols[d].get(i).copied().unwrap_or(0.0);
-        let slot = grid_slot((x - origin[d]) * inv_width[d], res[d] - 1);
-        cell = cell * res[d] + slot;
-    }
-    cell
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +733,60 @@ mod tests {
                     big.columns()[d][i].to_bits(),
                     grown.columns()[d][i].to_bits(),
                     "draw-order prefix must be bitwise stable (d={d}, i={i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offset_cloud_is_bitwise_identical_to_fresh_draw() {
+        // The Σ-group cache contract: re-centering a shared offset table
+        // reproduces a fresh per-query draw bit for bit, because the
+        // sampler materializes L·z before the single mean add.
+        let sigma = sigma_paper(3.0);
+        let g_a = Gaussian::new(Vector::from([10.0, -4.0]), sigma).unwrap();
+        let g_b = Gaussian::new(Vector::from([-250.0, 97.5]), sigma).unwrap();
+
+        let offsets = {
+            let mut rng = StdRng::seed_from_u64(77);
+            SampleCloud::draw_offsets(g_a.cholesky(), nz(3_000), &mut rng)
+        };
+        for g in [&g_a, &g_b] {
+            let mut rng = StdRng::seed_from_u64(77);
+            let fresh = SampleCloud::draw(g, nz(3_000), &mut rng);
+            let recentered = SampleCloud::from_offsets(g.mean(), &offsets);
+            assert_eq!(recentered.len(), 3_000);
+            for d in 0..2 {
+                for i in 0..3_000 {
+                    assert_eq!(
+                        fresh.columns()[d][i].to_bits(),
+                        recentered.columns()[d][i].to_bits(),
+                        "offset cloud diverges from fresh draw (d={d}, i={i})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_stream_matches_sampler_spare_caching() {
+        // The Box–Muller spare must persist across sample_vector calls
+        // inside draw_offsets exactly as it does inside GaussianSampler;
+        // an odd dimension (D = 3) exercises the carry-over.
+        let mut cov = Matrix::<3>::identity();
+        cov = cov.scale(2.5);
+        let g = Gaussian::new(Vector::from([1.0, 2.0, 3.0]), cov).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5150);
+        let mut rng_b = StdRng::seed_from_u64(5150);
+        let fresh = SampleCloud::draw(&g, nz(257), &mut rng_a);
+        let offsets = SampleCloud::draw_offsets(g.cholesky(), nz(257), &mut rng_b);
+        let recentered = SampleCloud::from_offsets(g.mean(), &offsets);
+        for d in 0..3 {
+            for i in 0..257 {
+                assert_eq!(
+                    fresh.columns()[d][i].to_bits(),
+                    recentered.columns()[d][i].to_bits(),
+                    "spare carry-over diverges (d={d}, i={i})"
                 );
             }
         }

@@ -174,3 +174,38 @@ proptest! {
         );
     }
 }
+
+/// `CloudGrid::build_recentered` folds the mean-add into the build
+/// passes; it must agree with materializing the re-centered cloud and
+/// building from it — same structure, and bitwise-equal probabilities
+/// at every probe.
+#[test]
+fn build_recentered_matches_materialized_cloud_bitwise() {
+    let g = correlated_2d();
+    let mut rng = StdRng::seed_from_u64(0x0FF5);
+    let offsets = SampleCloud::draw_offsets(g.cholesky(), nz(20_000), &mut rng);
+
+    for (mx, my) in [(100.0, -50.0), (0.0, 0.0), (-3.5e3, 1.0e-3)] {
+        let mean = Vector::from([mx, my]);
+        let materialized = CloudGrid::build(&SampleCloud::from_offsets(&mean, &offsets));
+        let fused = CloudGrid::build_recentered(&mean, &offsets);
+
+        assert_eq!(fused.len(), materialized.len());
+        assert_eq!(fused.cells(), materialized.cells());
+        assert_eq!(fused.resolution(), materialized.resolution());
+
+        let mut probe = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let center = Vector::from([
+                mx + (probe.gen::<f64>() - 0.5) * 80.0,
+                my + (probe.gen::<f64>() - 0.5) * 80.0,
+            ]);
+            let delta = probe.gen::<f64>() * 25.0;
+            assert_eq!(
+                fused.probability(&center, delta).to_bits(),
+                materialized.probability(&center, delta).to_bits(),
+                "re-centered build diverged at {center:?}, δ = {delta}"
+            );
+        }
+    }
+}

@@ -116,7 +116,7 @@ pub struct ContentionLadder {
     /// pessimistic shared-latch path (0 = escalate on first restart).
     pub restart_budget: usize,
     /// Seed for the deterministic backoff jitter. Mixed with a
-    /// per-thread salt ([`thread_jitter_salt`]) and the contended
+    /// per-thread salt (`thread_jitter_salt`) and the contended
     /// node's id, so concurrent readers stuck on the same node
     /// de-synchronize instead of stampeding in lock-step.
     pub backoff_seed: u64,

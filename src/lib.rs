@@ -77,12 +77,12 @@ pub mod prelude {
         prq_uncertain_targets, qualification_probability, UncertainTarget,
     };
     pub use gprq_core::{
-        execute_naive, AdmissionPolicy, BfCatalog, BfClass, DegradationReason, DegradationReport,
-        EvalBudget, FringeMode, MonteCarloEvaluator, PipelineMetrics, ProbabilityEvaluator,
-        PrqError, PrqExecutor, PrqOutcome, PrqQuery, Quadrature2dEvaluator,
-        QuasiMonteCarloEvaluator, QueryStats, ResilientExecutor, ResilientOutcome, RrCatalog,
-        SequentialMonteCarloEvaluator, SharedSamplesEvaluator, StrategySet, TerminalStrategy,
-        ThetaRegion, UncertainCause, Verdict,
+        cloud_seed, execute_naive, AdmissionPolicy, BatchOutcome, BfCatalog, BfClass,
+        DegradationReason, DegradationReport, EvalBudget, FringeMode, MonteCarloEvaluator,
+        PipelineMetrics, ProbabilityEvaluator, PrqError, PrqExecutor, PrqOutcome, PrqQuery,
+        Quadrature2dEvaluator, QuasiMonteCarloEvaluator, QueryBatch, QueryStats, ResilientExecutor,
+        ResilientOutcome, RrCatalog, SequentialMonteCarloEvaluator, SharedSamplesEvaluator,
+        SigmaFactorCache, StrategySet, TerminalStrategy, ThetaRegion, UncertainCause, Verdict,
     };
     pub use gprq_gaussian::cloud::{CloudGrid, SampleCloud};
     pub use gprq_gaussian::Gaussian;
