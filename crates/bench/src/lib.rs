@@ -62,17 +62,20 @@ impl Default for Args {
     }
 }
 
+/// Road-network records (point, index payload) — the shared input when
+/// a bench builds several Phase-1 backends over the same workload.
+pub fn road_records(n: usize, seed: u64) -> Vec<(Vector<2>, u32)> {
+    workloads::road_network_2d(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, i as u32))
+        .collect()
+}
+
 /// Builds the road-network tree (the paper's 2-D dataset) with payload =
 /// point index.
 pub fn road_tree(n: usize, seed: u64) -> RTree<2, u32> {
-    let pts = workloads::road_network_2d(n, seed);
-    RTree::bulk_load(
-        pts.into_iter()
-            .enumerate()
-            .map(|(i, p)| (p, i as u32))
-            .collect(),
-        RStarParams::paper_default(2),
-    )
+    RTree::bulk_load(road_records(n, seed), RStarParams::paper_default(2))
 }
 
 /// Builds the Corel-like tree (the paper's 9-D dataset).

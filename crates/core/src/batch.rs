@@ -513,10 +513,7 @@ impl<'c, const D: usize> QueryBatch<'c, D> {
         drop(items);
 
         let mut probabilities: Vec<Vec<f64>> = (0..n).map(|_| Vec::new()).collect();
-        for (&q, (pvec, mut cs)) in live
-            .iter()
-            .zip(probs.into_iter().zip(cloud_stats))
-        {
+        for (&q, (pvec, mut cs)) in live.iter().zip(probs.into_iter().zip(cloud_stats)) {
             stats[q].integrations = work[q].len();
             // The solo evaluator counts its one grid build in
             // `begin_query`; attribute the (possibly cached) build here.

@@ -14,13 +14,20 @@ use crate::rect::Rect;
 use gprq_linalg::Vector;
 
 /// A static uniform grid over `D`-dimensional points.
+///
+/// Cells are stored in CSR form (the counting-sort layout `CloudGrid`
+/// uses in the gaussian crate): one dense record array ordered by cell,
+/// plus a `cell_count + 1` offset table. The build path therefore does
+/// a constant number of allocations instead of one `Vec` per cell, and
+/// a cell scan is a contiguous slice walk.
 #[derive(Debug, Clone)]
 pub struct UniformGrid<const D: usize, T> {
     bounds: Rect<D>,
     resolution: usize,
-    /// Row-major cells; each holds the records bucketed into it.
-    cells: Vec<Vec<(Vector<D>, T)>>,
-    len: usize,
+    /// CSR offsets: cell `c` owns `records[cell_start[c]..cell_start[c + 1]]`.
+    cell_start: Vec<usize>,
+    /// Records reordered by row-major cell index (stable within a cell).
+    records: Vec<(Vector<D>, T)>,
 }
 
 impl<const D: usize, T> UniformGrid<D, T> {
@@ -64,25 +71,48 @@ impl<const D: usize, T> UniformGrid<D, T> {
         let mut grid = UniformGrid {
             bounds,
             resolution,
-            cells: (0..cell_count).map(|_| Vec::new()).collect(),
-            len: 0,
+            cell_start: vec![0usize; cell_count + 1],
+            records: Vec::new(),
         };
-        for (p, data) in points {
-            let idx = grid.cell_index(&grid.cell_coords(&p));
-            grid.cells[idx].push((p, data));
-            grid.len += 1;
+        // Counting sort into CSR (the CloudGrid layout): count per cell,
+        // prefix-sum into offsets, then scatter with a cursor copy.
+        let cell_of: Vec<usize> = points
+            .iter()
+            .map(|(p, _)| grid.cell_index(&grid.cell_coords(p)))
+            .collect();
+        for &c in &cell_of {
+            if let Some(slot) = grid.cell_start.get_mut(c + 1) {
+                *slot += 1;
+            }
         }
+        let mut acc = 0usize;
+        for slot in grid.cell_start.iter_mut() {
+            acc += *slot;
+            *slot = acc;
+        }
+        let mut cursor = grid.cell_start.clone();
+        let mut slots: Vec<Option<(Vector<D>, T)>> = Vec::with_capacity(points.len());
+        slots.resize_with(points.len(), || None);
+        for (rec, &c) in std::iter::zip(points, &cell_of) {
+            if let Some(at) = cursor.get_mut(c) {
+                if let Some(slot) = slots.get_mut(*at) {
+                    *slot = Some(rec);
+                }
+                *at += 1;
+            }
+        }
+        grid.records = slots.into_iter().flatten().collect();
         grid
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.len
+        self.records.len()
     }
 
     /// `true` if no records are stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.records.is_empty()
     }
 
     /// Cells per axis.
@@ -92,7 +122,7 @@ impl<const D: usize, T> UniformGrid<D, T> {
 
     /// Total number of cells.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.cell_start.len().saturating_sub(1)
     }
 
     /// Per-axis cell coordinates of a point (clamped into range).
@@ -133,11 +163,15 @@ impl<const D: usize, T> UniformGrid<D, T> {
         'visit: loop {
             stats.nodes_visited += 1;
             let idx = self.cell_index(&cursor);
-            for (p, data) in &self.cells[idx] {
-                stats.entries_checked += 1;
-                if rect.contains_point(p) {
-                    stats.results += 1;
-                    out.push((p, data));
+            let start = self.cell_start.get(idx).copied().unwrap_or(0);
+            let end = self.cell_start.get(idx + 1).copied().unwrap_or(start);
+            if let Some(cell) = self.records.get(start..end) {
+                for (p, data) in cell {
+                    stats.entries_checked += 1;
+                    if rect.contains_point(p) {
+                        stats.results += 1;
+                        out.push((p, data));
+                    }
                 }
             }
             // Advance: increment the last axis that has room, resetting

@@ -14,7 +14,10 @@
 //! * STR bulk loading for large static datasets;
 //! * rectangle-range, ball-range, and best-first k-NN queries, each with
 //!   node-access statistics ([`SearchStats`]);
-//! * a full structural [`RTree::validate`] used by the property tests.
+//! * a full structural [`RTree::validate`] used by the property tests;
+//! * a cache-conscious read-optimized flat image ([`FlatRTree`]) with
+//!   SoA node blocks, branch-free AABB scans, and packed multi-rect
+//!   probes for the Phase-1 hot path.
 //!
 //! ```
 //! use gprq_rtree::{RTree, RStarParams};
@@ -34,6 +37,7 @@
 
 mod bulk;
 pub mod concurrent;
+pub mod flat;
 pub mod grid;
 pub mod node;
 pub mod olc;
@@ -44,6 +48,7 @@ mod split;
 pub mod tree;
 
 pub use concurrent::{ConcQueryScratch, ConcurrentRTree, ContentionLadder, MAX_FANOUT};
+pub use flat::{FlatRTree, PACKED_FANOUT};
 pub use grid::UniformGrid;
 pub use node::LeafEntry;
 pub use olc::{ReadOutcome, VersionCell};

@@ -1,0 +1,195 @@
+//! Parity tests for the cache-conscious flat index: a frozen image must
+//! reproduce the pointer tree bitwise (candidates, order, and every
+//! `SearchStats` counter), and the packed multi-rect descent must
+//! reproduce, per query, exactly what N solo flat descents produce —
+//! mirroring `multi_rect_parity.rs` for the pointer tree.
+
+use gprq_linalg::Vector;
+use gprq_rtree::{FlatRTree, Phase1Index, RStarParams, RTree, Rect, SearchStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, seed: u64, extent: f64) -> Vec<(Vector<2>, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                Vector::from([rng.gen::<f64>() * extent, rng.gen::<f64>() * extent]),
+                i,
+            )
+        })
+        .collect()
+}
+
+fn build_tree(points: &[(Vector<2>, usize)]) -> RTree<2, usize> {
+    let mut tree = RTree::new();
+    for (p, id) in points {
+        tree.insert(*p, *id);
+    }
+    tree.validate().expect("tree invariants");
+    tree
+}
+
+fn random_rects(n: usize, seed: u64, extent: f64) -> Vec<Rect<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = Vector::from([rng.gen::<f64>() * extent, rng.gen::<f64>() * extent]);
+            let half = Vector::from([rng.gen::<f64>() * 120.0, rng.gen::<f64>() * 120.0]);
+            Rect::centered(&c, &half)
+        })
+        .collect()
+}
+
+/// Solo baseline for one rectangle via the flat single-rect entry point.
+fn solo<'t>(
+    flat: &'t FlatRTree<2, usize>,
+    rect: &Rect<2>,
+) -> (Vec<(&'t Vector<2>, &'t usize)>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut out = Vec::new();
+    flat.query_rect_into(rect, &mut stats, &mut out);
+    (out, stats)
+}
+
+#[test]
+fn frozen_image_matches_pointer_tree_bitwise() {
+    let points = random_points(3_000, 41, 1_000.0);
+    // Both topologies: incremental R* inserts and STR bulk load.
+    for tree in [
+        build_tree(&points),
+        RTree::bulk_load(points.clone(), RStarParams::paper_default(2)),
+    ] {
+        let flat = FlatRTree::freeze(tree.clone());
+        for rect in random_rects(40, 42, 1_000.0) {
+            let mut tree_stats = SearchStats::default();
+            let mut tree_out = Vec::new();
+            tree.query_rect_into(&rect, &mut tree_stats, &mut tree_out);
+            let (flat_out, flat_stats) = solo(&flat, &rect);
+            assert_eq!(flat_out, tree_out, "candidates diverge from source tree");
+            assert_eq!(flat_stats, tree_stats, "stats diverge from source tree");
+        }
+    }
+}
+
+#[test]
+fn packed_multi_rect_matches_solo_bitwise() {
+    let points = random_points(3_000, 51, 1_000.0);
+    let flat = FlatRTree::freeze(build_tree(&points));
+    for (rect_seed, batch) in [(52u64, 1usize), (53, 2), (54, 7), (55, 16), (56, 33)] {
+        let rects = random_rects(batch, rect_seed, 1_000.0);
+        let mut stats = vec![SearchStats::default(); batch];
+        let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); batch];
+        flat.query_rects_into(&rects, &mut stats, &mut out);
+
+        for q in 0..batch {
+            let (solo_out, solo_stats) = solo(&flat, &rects[q]);
+            assert_eq!(out[q], solo_out, "candidates diverge for query {q}");
+            assert_eq!(stats[q], solo_stats, "stats diverge for query {q}");
+        }
+    }
+}
+
+#[test]
+fn packed_multi_rect_on_packed_layout_matches_solo() {
+    // Same contract on the bulk-load (fanout-64) layout, whose nodes
+    // exceed one mask chunk less often but still exercise leaf packing.
+    let points = random_points(4_000, 57, 800.0);
+    let flat = FlatRTree::bulk_load(points);
+    let rects = random_rects(21, 58, 800.0);
+    let mut stats = vec![SearchStats::default(); rects.len()];
+    let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); rects.len()];
+    flat.query_rects_into(&rects, &mut stats, &mut out);
+    for (q, rect) in rects.iter().enumerate() {
+        let (solo_out, solo_stats) = solo(&flat, rect);
+        assert_eq!(out[q], solo_out, "candidates diverge for query {q}");
+        assert_eq!(stats[q], solo_stats, "stats diverge for query {q}");
+    }
+}
+
+#[test]
+fn duplicate_and_disjoint_rects_stay_independent() {
+    let points = random_points(1_200, 61, 500.0);
+    let flat = FlatRTree::freeze(build_tree(&points));
+    let hot = Rect::centered(&Vector::from([250.0, 250.0]), &Vector::from([80.0, 80.0]));
+    let cold = Rect::centered(
+        &Vector::from([-1_000.0, -1_000.0]),
+        &Vector::from([1.0, 1.0]),
+    );
+    let rects = [hot, hot, cold, hot];
+    let mut stats = vec![SearchStats::default(); rects.len()];
+    let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); rects.len()];
+    flat.query_rects_into(&rects, &mut stats, &mut out);
+
+    let (hot_out, hot_stats) = solo(&flat, &hot);
+    let (cold_out, cold_stats) = solo(&flat, &cold);
+    assert!(!hot_out.is_empty());
+    assert!(cold_out.is_empty());
+    for q in [0, 1, 3] {
+        assert_eq!(out[q], hot_out);
+        assert_eq!(stats[q], hot_stats);
+    }
+    assert_eq!(out[2], cold_out);
+    assert_eq!(stats[2], cold_stats);
+}
+
+#[test]
+fn empty_inputs_and_empty_tree_are_well_defined() {
+    let flat = FlatRTree::freeze(build_tree(&random_points(300, 71, 100.0)));
+
+    // No rects: nothing happens, buffers beyond the batch are still cleared.
+    let mut stats: Vec<SearchStats> = Vec::new();
+    let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![vec![]; 2];
+    out[0].push((flat.iter().next().unwrap().0, flat.iter().next().unwrap().1));
+    flat.query_rects_into(&[], &mut stats, &mut out);
+    assert!(out[0].is_empty() && out[1].is_empty());
+
+    // Empty index: every query answers empty with zero stats.
+    let empty: FlatRTree<2, usize> = FlatRTree::freeze(RTree::new());
+    let rects = [Rect::everything(), Rect::everything()];
+    let mut stats = vec![SearchStats::default(); 2];
+    let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); 2];
+    empty.query_rects_into(&rects, &mut stats, &mut out);
+    for q in 0..2 {
+        assert!(out[q].is_empty());
+        assert_eq!(stats[q], SearchStats::default());
+    }
+}
+
+#[test]
+fn shorter_stat_slice_bounds_the_batch() {
+    let flat = FlatRTree::freeze(build_tree(&random_points(600, 81, 200.0)));
+    let rects = random_rects(4, 82, 200.0);
+    // Only two stats slots: queries 2 and 3 must not run (their buffers
+    // are still cleared).
+    let mut stats = vec![SearchStats::default(); 2];
+    let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); 4];
+    flat.query_rects_into(&rects, &mut stats, &mut out);
+    for q in 0..2 {
+        let (solo_out, solo_stats) = solo(&flat, &rects[q]);
+        assert_eq!(out[q], solo_out);
+        assert_eq!(stats[q], solo_stats);
+    }
+    assert!(out[2].is_empty() && out[3].is_empty());
+}
+
+#[test]
+fn trait_dispatch_matches_pointer_tree_through_phase1_index() {
+    let points = random_points(1_500, 91, 400.0);
+    let tree = build_tree(&points);
+    let flat = FlatRTree::freeze(tree.clone());
+    let rects = random_rects(9, 92, 400.0);
+
+    let mut tree_stats = vec![SearchStats::default(); rects.len()];
+    let mut tree_out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); rects.len()];
+    Phase1Index::search_rects_into(&tree, &rects, &mut tree_stats, &mut tree_out);
+
+    let mut flat_stats = vec![SearchStats::default(); rects.len()];
+    let mut flat_out: Vec<Vec<(&Vector<2>, &usize)>> = vec![Vec::new(); rects.len()];
+    Phase1Index::search_rects_into(&flat, &rects, &mut flat_stats, &mut flat_out);
+
+    for q in 0..rects.len() {
+        assert_eq!(flat_out[q], tree_out[q], "candidates diverge for query {q}");
+        assert_eq!(flat_stats[q], tree_stats[q], "stats diverge for query {q}");
+    }
+}

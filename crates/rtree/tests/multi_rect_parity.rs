@@ -103,10 +103,7 @@ fn empty_inputs_and_empty_tree_are_well_defined() {
     // No rects: nothing happens, buffers beyond the batch are still cleared.
     let mut stats: Vec<SearchStats> = Vec::new();
     let mut out: Vec<Vec<(&Vector<2>, &usize)>> = vec![vec![]; 2];
-    out[0].push((
-        tree.iter().next().unwrap().0,
-        tree.iter().next().unwrap().1,
-    ));
+    out[0].push((tree.iter().next().unwrap().0, tree.iter().next().unwrap().1));
     tree.query_rects_into(&[], &mut stats, &mut out);
     assert!(out[0].is_empty() && out[1].is_empty());
 

@@ -88,6 +88,7 @@ pub mod prelude {
     pub use gprq_gaussian::Gaussian;
     pub use gprq_linalg::{Matrix, Vector};
     pub use gprq_rtree::{
-        ConcQueryScratch, ConcurrentRTree, ContentionLadder, Phase1Index, RStarParams, RTree, Rect,
+        ConcQueryScratch, ConcurrentRTree, ContentionLadder, FlatRTree, Phase1Index, RStarParams,
+        RTree, Rect, SearchStats, PACKED_FANOUT,
     };
 }
